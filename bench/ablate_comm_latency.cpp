@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: inter-core communication latency. The paper's
+ * synchronization array has a 1-cycle access latency; this sweep
+ * shows how quickly the extracted thread-level parallelism erodes as
+ * the communication substrate slows down — the motivation for the
+ * low-latency hardware queues GMT scheduling assumes.
+ */
+
+#include <iostream>
+
+#include "driver/pipeline.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gmt;
+
+int
+main()
+{
+    const int latencies[] = {1, 2, 4, 8, 16};
+    Table t("Ablation: DSWP+COCO speedup vs sync-array latency");
+    std::vector<std::string> header{"Benchmark"};
+    for (int l : latencies)
+        header.push_back(std::to_string(l) + " cyc");
+    t.setHeader(header);
+
+    for (const Workload &w : allWorkloads()) {
+        std::vector<std::string> row{w.name};
+        for (int l : latencies) {
+            PipelineOptions opts;
+            opts.scheduler = Scheduler::Dswp;
+            opts.use_coco = true;
+            opts.machine.sa_latency = l;
+            auto r = runPipeline(w, opts);
+            row.push_back(Table::fmt(r.speedup(), 2) + "x");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

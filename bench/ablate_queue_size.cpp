@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation: synchronization-array queue depth. The paper uses
+ * 32-element queues for DSWP ("which focuses on pipeline
+ * parallelism") and single-element queues otherwise; this sweep shows
+ * how much decoupling the pipeline actually buys per benchmark.
+ */
+
+#include <iostream>
+
+#include "driver/pipeline.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gmt;
+
+int
+main()
+{
+    const int depths[] = {1, 2, 4, 8, 32, 64};
+    Table t("Ablation: DSWP+COCO speedup vs queue depth");
+    std::vector<std::string> header{"Benchmark"};
+    for (int d : depths)
+        header.push_back("depth " + std::to_string(d));
+    t.setHeader(header);
+
+    for (const Workload &w : allWorkloads()) {
+        std::vector<std::string> row{w.name};
+        for (int d : depths) {
+            PipelineOptions opts;
+            opts.scheduler = Scheduler::Dswp;
+            opts.use_coco = true;
+            opts.queue_capacity = d;
+            auto r = runPipeline(w, opts);
+            row.push_back(Table::fmt(r.speedup(), 2) + "x");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

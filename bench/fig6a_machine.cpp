@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Reproduces paper Figure 6(a): the simulated machine configuration.
+ */
+
+#include <iostream>
+
+#include "sim/machine_config.hpp"
+
+int
+main()
+{
+    gmt::MachineConfig::paperDefault().print(std::cout);
+    return 0;
+}

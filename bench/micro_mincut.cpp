@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Microbenchmark (google-benchmark): compile-time cost of the min-cut
+ * machinery. The paper uses Edmonds-Karp (O(n m^2), ~O(n^3) on CFGs)
+ * and notes that faster algorithms (preflow-push) exist if
+ * compilation time matters; this compares Edmonds-Karp, Dinic, and
+ * FIFO push-relabel on CFG-shaped flow graphs, and measures the
+ * whole COCO optimization per benchmark kernel.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/edge_profile.hpp"
+#include "coco/coco.hpp"
+#include "graph/max_flow.hpp"
+#include "ir/edge_split.hpp"
+#include "partition/gremio.hpp"
+#include "pdg/pdg_builder.hpp"
+#include "runtime/interpreter.hpp"
+#include "support/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace
+{
+
+using namespace gmt;
+
+/** CFG-shaped network: a long chain with skip arcs and hammocks. */
+FlowNetwork
+makeCfgShapedNetwork(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    FlowNetwork net(n + 2);
+    for (int i = 0; i + 1 < n; ++i) {
+        net.addArc(i, i + 1, 1 + rng.nextBelow(100));
+        if (rng.nextBool(0.3)) {
+            int skip = i + 2 + static_cast<int>(rng.nextBelow(5));
+            if (skip < n)
+                net.addArc(i, skip, 1 + rng.nextBelow(100));
+        }
+        if (rng.nextBool(0.15) && i > 4) {
+            // back arc (loop)
+            net.addArc(i, i - 1 - static_cast<int>(rng.nextBelow(4)),
+                       1 + rng.nextBelow(100));
+        }
+    }
+    net.addArc(n, 0, kInfCapacity);     // S -> first def
+    net.addArc(n - 1, n + 1, kInfCapacity); // last use -> T
+    return net;
+}
+
+void
+BM_MaxFlow(benchmark::State &state, FlowAlgorithm algo)
+{
+    int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        FlowNetwork net = makeCfgShapedNetwork(n, 42);
+        state.ResumeTiming();
+        MaxFlow mf(net, algo);
+        benchmark::DoNotOptimize(mf.solve(n, n + 1));
+        benchmark::DoNotOptimize(mf.minCutArcs());
+    }
+    state.SetComplexityN(n);
+}
+
+void
+BM_CocoOptimize(benchmark::State &state)
+{
+    auto all = allWorkloads();
+    const Workload &w = all[state.range(0)];
+    Function f = w.func;
+    splitCriticalEdges(f);
+    MemoryImage mem;
+    mem.alloc(w.mem_cells);
+    if (w.fill)
+        w.fill(mem, false);
+    auto run = interpret(f, w.train_args, mem);
+    auto profile = EdgeProfile::fromRun(f, run.profile);
+    Pdg pdg = buildPdg(f);
+    auto pdom = DominatorTree::postDominators(f);
+    ControlDependence cd(f, pdom);
+    auto partition = gremioPartition(pdg, profile, {.num_threads = 2});
+    for (auto _ : state) {
+        auto result = cocoOptimize(f, pdg, partition, cd, profile);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetLabel(w.name);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_MaxFlow, EdmondsKarp, gmt::FlowAlgorithm::EdmondsKarp)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_MaxFlow, Dinic, gmt::FlowAlgorithm::Dinic)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_MaxFlow, PushRelabel,
+                  gmt::FlowAlgorithm::PushRelabel)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+BENCHMARK(BM_CocoOptimize)->DenseRange(0, 10);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Domain scenario: pipeline-parallelizing a streaming media kernel.
+ *
+ * Runs the ADPCM decoder (the paper's adpcmdec benchmark) through the
+ * whole pipeline with DSWP, comparing the MTCG and COCO placements:
+ * dynamic instruction breakdown, per-thread statistics, queue-depth
+ * sensitivity, and the simulated speedup — what a compiler engineer
+ * would look at when deciding whether the pipeline split is worth it.
+ */
+
+#include <iostream>
+
+#include "driver/pipeline.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gmt;
+
+int
+main()
+{
+    Workload w = makeAdpcmDec();
+    std::cout << "DSWP pipeline study: " << w.function_name << " ("
+              << w.name << ")\n\n";
+
+    Table t("MTCG vs COCO under DSWP");
+    t.setHeader({"Metric", "MTCG", "MTCG+COCO"});
+    PipelineOptions base;
+    base.scheduler = Scheduler::Dswp;
+    base.use_coco = false;
+    auto mtcg = runPipeline(w, base);
+    PipelineOptions opt = base;
+    opt.use_coco = true;
+    auto coco = runPipeline(w, opt);
+
+    t.addRow({"computation instrs", std::to_string(mtcg.computation),
+              std::to_string(coco.computation)});
+    t.addRow({"replicated branches",
+              std::to_string(mtcg.duplicated_branches),
+              std::to_string(coco.duplicated_branches)});
+    t.addRow({"register produce/consume",
+              std::to_string(mtcg.reg_comm),
+              std::to_string(coco.reg_comm)});
+    t.addRow({"memory syncs", std::to_string(mtcg.mem_sync),
+              std::to_string(coco.mem_sync)});
+    t.addRow({"cycles (2 cores)", std::to_string(mtcg.mt_cycles),
+              std::to_string(coco.mt_cycles)});
+    t.addRow({"speedup vs 1 core", Table::fmt(mtcg.speedup(), 2) + "x",
+              Table::fmt(coco.speedup(), 2) + "x"});
+    t.print(std::cout);
+
+    std::cout << "\nQueue-depth sensitivity (DSWP+COCO):\n";
+    for (int depth : {1, 4, 32}) {
+        PipelineOptions o = opt;
+        o.queue_capacity = depth;
+        auto r = runPipeline(w, o);
+        std::cout << "  depth " << depth << ": "
+                  << Table::fmt(r.speedup(), 2) << "x\n";
+    }
+    std::cout << "\nDeeper queues let the producer stage run ahead — "
+                 "the decoupling DSWP is named for.\n";
+    return 0;
+}

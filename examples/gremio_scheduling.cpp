@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Domain scenario: the paper's headline case.
+ *
+ * Parallelizes the ks kernel (Kernighan-Lin FindMaxGpAndSwap) with
+ * GREMIO and shows why it is COCO's best case: the candidate-scan
+ * loop's only cross-thread products are its final maxgain/best
+ * values, yet MTCG communicates them at every definition — forcing
+ * the second thread to replicate the entire scan loop just to consume
+ * them. COCO's min-cut moves the communication past the loop and the
+ * replicated loop disappears (paper: 73.7% of dynamic communication
+ * removed, +47.6% speedup).
+ */
+
+#include <iostream>
+
+#include "driver/pipeline.hpp"
+#include "support/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gmt;
+
+int
+main()
+{
+    Workload w = makeKs();
+    std::cout << "GREMIO scheduling study: " << w.function_name
+              << " (" << w.name << ")\n\n";
+
+    PipelineOptions base;
+    base.scheduler = Scheduler::Gremio;
+    base.use_coco = false;
+    auto mtcg = runPipeline(w, base);
+    PipelineOptions opt = base;
+    opt.use_coco = true;
+    auto coco = runPipeline(w, opt);
+
+    Table t("MTCG vs COCO under GREMIO");
+    t.setHeader({"Metric", "MTCG", "MTCG+COCO"});
+    t.addRow({"communication instrs",
+              std::to_string(mtcg.communication()),
+              std::to_string(coco.communication())});
+    t.addRow({"replicated branches",
+              std::to_string(mtcg.duplicated_branches),
+              std::to_string(coco.duplicated_branches)});
+    t.addRow({"speedup vs 1 core", Table::fmt(mtcg.speedup(), 2) + "x",
+              Table::fmt(coco.speedup(), 2) + "x"});
+    t.print(std::cout);
+
+    double removed =
+        100.0 * (1.0 - static_cast<double>(coco.communication()) /
+                           static_cast<double>(mtcg.communication()));
+    std::cout << "\nCOCO removed " << Table::fmt(removed, 1)
+              << "% of the dynamic communication (paper: 73.7% for "
+                 "this benchmark) and the replicated scan loop is "
+                 "gone: "
+              << mtcg.duplicated_branches << " -> "
+              << coco.duplicated_branches
+              << " dynamic replicated branches.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "analysis/control_dep.hpp"
+
+#include <algorithm>
+
+#include "support/bit_vector.hpp"
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+ControlDependence::ControlDependence(const Function &f,
+                                     const DominatorTree &postdom)
+{
+    deps_.resize(f.numBlocks());
+    controlled_.resize(f.numBlocks());
+
+    // For each edge (a -> s) where s does not post-dominate a, every
+    // block on the post-dominator-tree path from s up to (excluding)
+    // ipdom(a) is control dependent on a.
+    for (BlockId a = 0; a < f.numBlocks(); ++a) {
+        const auto &succs = f.block(a).succs();
+        if (succs.size() < 2)
+            continue; // only branches create control dependences
+        for (BlockId s : succs) {
+            // Mark every block from s up to (excluding) ipdom(a) in
+            // the post-dominator tree. ipdom(a) post-dominates every
+            // successor of a, so the walk terminates; when s == a
+            // (a self loop) this correctly marks a as depending on
+            // its own branch.
+            BlockId stop = postdom.idom(a);
+            for (BlockId runner = s; runner != stop;
+                 runner = postdom.idom(runner)) {
+                GMT_ASSERT(runner != kNoBlock,
+                           "walked past post-dominator root");
+                if (!isControlDependent(runner, a)) {
+                    deps_[runner].push_back(a);
+                    controlled_[a].push_back(runner);
+                }
+            }
+        }
+    }
+    for (auto &v : deps_)
+        std::sort(v.begin(), v.end());
+    for (auto &v : controlled_)
+        std::sort(v.begin(), v.end());
+}
+
+bool
+ControlDependence::isControlDependent(BlockId b, BlockId branch_block) const
+{
+    const auto &d = deps_[b];
+    return std::find(d.begin(), d.end(), branch_block) != d.end();
+}
+
+std::vector<BlockId>
+ControlDependence::transitiveDeps(BlockId b) const
+{
+    BitVector seen(deps_.size());
+    std::vector<BlockId> work{b}, result;
+    // Note: b itself is not included unless reachable via a cycle.
+    while (!work.empty()) {
+        BlockId cur = work.back();
+        work.pop_back();
+        for (BlockId dep : deps_[cur]) {
+            if (!seen.test(dep)) {
+                seen.set(dep);
+                result.push_back(dep);
+                work.push_back(dep);
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+} // namespace gmt

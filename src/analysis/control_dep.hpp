@@ -1,0 +1,59 @@
+#ifndef GMT_ANALYSIS_CONTROL_DEP_HPP
+#define GMT_ANALYSIS_CONTROL_DEP_HPP
+
+/**
+ * @file
+ * Control dependence (Ferrante-Ottenstein-Warren). Block B is control
+ * dependent on branch block A iff A has successors S1, S2 such that B
+ * post-dominates one but not the other — equivalently, A's branch
+ * decides whether B executes.
+ *
+ * Control dependence is block-granular: every program point inside a
+ * block has the same execution condition, which is what Definition 2
+ * of the paper (relevant points) quantifies over.
+ */
+
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/** Control-dependence relation over a function's blocks. */
+class ControlDependence
+{
+  public:
+    ControlDependence(const Function &f, const DominatorTree &postdom);
+
+    /** Branch blocks that @p b is (directly) control dependent on. */
+    const std::vector<BlockId> &
+    dependsOn(BlockId b) const
+    {
+        return deps_[b];
+    }
+
+    /** Blocks (directly) control dependent on @p branch_block. */
+    const std::vector<BlockId> &
+    controlledBy(BlockId branch_block) const
+    {
+        return controlled_[branch_block];
+    }
+
+    bool isControlDependent(BlockId b, BlockId branch_block) const;
+
+    /**
+     * Transitive closure of dependsOn: every branch block whose
+     * outcome (transitively) decides whether @p b executes.
+     */
+    std::vector<BlockId> transitiveDeps(BlockId b) const;
+
+  private:
+    std::vector<std::vector<BlockId>> deps_;
+    std::vector<std::vector<BlockId>> controlled_;
+};
+
+} // namespace gmt
+
+#endif // GMT_ANALYSIS_CONTROL_DEP_HPP

@@ -1,0 +1,134 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/** DFS postorder from @p root following succ (or pred) edges. */
+std::vector<BlockId>
+postorder(const Function &f, BlockId root, bool reverse)
+{
+    auto next = [&](BlockId b) -> const std::vector<BlockId> & {
+        return reverse ? f.block(b).preds() : f.block(b).succs();
+    };
+    std::vector<BlockId> order;
+    std::vector<bool> seen(f.numBlocks(), false);
+    struct Frame
+    {
+        BlockId block;
+        size_t pos;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    seen[root] = true;
+    while (!stack.empty()) {
+        Frame &fr = stack.back();
+        const auto &out = next(fr.block);
+        if (fr.pos < out.size()) {
+            BlockId s = out[fr.pos++];
+            if (!seen[s]) {
+                seen[s] = true;
+                stack.push_back({s, 0});
+            }
+        } else {
+            order.push_back(fr.block);
+            stack.pop_back();
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+DominatorTree
+DominatorTree::compute(const Function &f, bool reverse)
+{
+    DominatorTree tree;
+    tree.root_ = reverse ? f.exitBlock() : f.entry();
+    GMT_ASSERT(tree.root_ != kNoBlock,
+               "dominator computation needs entry/exit");
+
+    // Reverse postorder over the (possibly reversed) CFG.
+    std::vector<BlockId> po = postorder(f, tree.root_, reverse);
+    GMT_ASSERT(static_cast<int>(po.size()) == f.numBlocks(),
+               reverse ? "some block does not reach the exit"
+                       : "some block unreachable from entry");
+    std::vector<BlockId> rpo(po.rbegin(), po.rend());
+    std::vector<int> rpo_index(f.numBlocks());
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = static_cast<int>(i);
+
+    auto preds = [&](BlockId b) -> const std::vector<BlockId> & {
+        return reverse ? f.block(b).succs() : f.block(b).preds();
+    };
+
+    tree.idom_.assign(f.numBlocks(), kNoBlock);
+    tree.idom_[tree.root_] = tree.root_;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = tree.idom_[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = tree.idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == tree.root_)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : preds(b)) {
+                if (tree.idom_[p] == kNoBlock)
+                    continue; // not yet processed
+                new_idom = (new_idom == kNoBlock)
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            GMT_ASSERT(new_idom != kNoBlock);
+            if (tree.idom_[b] != new_idom) {
+                tree.idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    tree.idom_[tree.root_] = kNoBlock;
+
+    tree.depth_.assign(f.numBlocks(), 0);
+    for (BlockId b : rpo) {
+        if (b != tree.root_)
+            tree.depth_[b] = tree.depth_[tree.idom_[b]] + 1;
+    }
+    return tree;
+}
+
+DominatorTree
+DominatorTree::dominators(const Function &f)
+{
+    return compute(f, false);
+}
+
+DominatorTree
+DominatorTree::postDominators(const Function &f)
+{
+    return compute(f, true);
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    while (depth_[b] > depth_[a])
+        b = idom_[b];
+    return a == b;
+}
+
+} // namespace gmt

@@ -1,0 +1,57 @@
+#ifndef GMT_ANALYSIS_DOMINATORS_HPP
+#define GMT_ANALYSIS_DOMINATORS_HPP
+
+/**
+ * @file
+ * Dominator and post-dominator trees (Cooper-Harvey-Kennedy iterative
+ * algorithm over a reverse-postorder). Post-dominance drives both
+ * control-dependence computation and MTCG's branch-target fixing.
+ */
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/**
+ * (Post-)dominator tree over a function's blocks.
+ *
+ * For the forward variant the root is the entry block; for the reverse
+ * variant (post-dominators) the root is the unique Ret block and the
+ * function must have every block on some path to it.
+ */
+class DominatorTree
+{
+  public:
+    /** Dominator tree rooted at the entry. */
+    static DominatorTree dominators(const Function &f);
+
+    /** Post-dominator tree rooted at the exit (Ret) block. */
+    static DominatorTree postDominators(const Function &f);
+
+    BlockId root() const { return root_; }
+
+    /** Immediate dominator; kNoBlock for the root. */
+    BlockId idom(BlockId b) const { return idom_[b]; }
+
+    /** Depth of @p b in the tree (root = 0). */
+    int depth(BlockId b) const { return depth_[b]; }
+
+    /** True if @p a (post-)dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+  private:
+    DominatorTree() = default;
+
+    static DominatorTree compute(const Function &f, bool reverse);
+
+    BlockId root_ = kNoBlock;
+    std::vector<BlockId> idom_;
+    std::vector<int> depth_;
+};
+
+} // namespace gmt
+
+#endif // GMT_ANALYSIS_DOMINATORS_HPP

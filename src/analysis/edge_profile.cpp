@@ -1,0 +1,53 @@
+#include "analysis/edge_profile.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+EdgeProfile
+EdgeProfile::fromRun(const Function &f, const ProfileData &data)
+{
+    GMT_ASSERT(static_cast<int>(data.block_counts.size()) ==
+               f.numBlocks());
+    EdgeProfile p;
+    p.block_weight_ = data.block_counts;
+    p.edge_weight_ = data.edge_counts;
+    return p;
+}
+
+EdgeProfile
+EdgeProfile::staticEstimate(const Function &f, const LoopInfo &loops)
+{
+    EdgeProfile p;
+    p.block_weight_.resize(f.numBlocks());
+    p.edge_weight_.resize(f.numBlocks());
+    for (BlockId b = 0; b < f.numBlocks(); ++b) {
+        uint64_t w = 1;
+        for (int d = loops.depthOf(b); d > 0; --d)
+            w *= 10;
+        p.block_weight_[b] = w;
+        size_t nsucc = f.block(b).succs().size();
+        p.edge_weight_[b].assign(nsucc,
+                                 nsucc ? std::max<uint64_t>(w / nsucc, 1)
+                                       : 0);
+    }
+    return p;
+}
+
+uint64_t
+EdgeProfile::edgeWeight(BlockId b, int slot) const
+{
+    GMT_ASSERT(b >= 0 && b < static_cast<BlockId>(edge_weight_.size()));
+    GMT_ASSERT(slot >= 0 &&
+               slot < static_cast<int>(edge_weight_[b].size()));
+    return edge_weight_[b][slot];
+}
+
+uint64_t
+EdgeProfile::pointWeight(const ProgramPoint &p) const
+{
+    return block_weight_[p.block];
+}
+
+} // namespace gmt

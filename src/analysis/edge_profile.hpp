@@ -1,0 +1,54 @@
+#ifndef GMT_ANALYSIS_EDGE_PROFILE_HPP
+#define GMT_ANALYSIS_EDGE_PROFILE_HPP
+
+/**
+ * @file
+ * Edge profile: the weights COCO puts on min-cut arcs. Either measured
+ * (a train-input run of the single-threaded interpreter, the paper's
+ * methodology) or statically estimated from loop depth (the paper
+ * notes static estimates are also accurate [28]).
+ */
+
+#include <cstdint>
+
+#include "analysis/loop_info.hpp"
+#include "ir/function.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace gmt
+{
+
+/** Block and edge execution weights for one function. */
+class EdgeProfile
+{
+  public:
+    /** Weights measured from an interpreter run. */
+    static EdgeProfile fromRun(const Function &f, const ProfileData &data);
+
+    /**
+     * Static estimate: weight 10^depth per block, edges split evenly
+     * among successors (branch bias unknown).
+     */
+    static EdgeProfile staticEstimate(const Function &f,
+                                      const LoopInfo &loops);
+
+    uint64_t blockWeight(BlockId b) const { return block_weight_[b]; }
+
+    /** Weight of the edge leaving @p b through successor slot @p slot. */
+    uint64_t edgeWeight(BlockId b, int slot) const;
+
+    /**
+     * Weight of the program point before position pos of a block —
+     * equal to the block weight (every point in a block executes as
+     * often as the block).
+     */
+    uint64_t pointWeight(const ProgramPoint &p) const;
+
+  private:
+    std::vector<uint64_t> block_weight_;
+    std::vector<std::vector<uint64_t>> edge_weight_;
+};
+
+} // namespace gmt
+
+#endif // GMT_ANALYSIS_EDGE_PROFILE_HPP

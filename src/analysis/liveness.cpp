@@ -1,0 +1,87 @@
+#include "analysis/liveness.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+Liveness::Liveness(const Function &f) : func_(f)
+{
+    compute();
+}
+
+Liveness::Liveness(const Function &f, UseFilter filter, const void *ctx)
+    : func_(f), filter_(filter), filter_ctx_(ctx)
+{
+    compute();
+}
+
+void
+Liveness::compute()
+{
+    const Function &f = func_;
+    const int nb = f.numBlocks();
+    const int nr = f.numRegs();
+    live_in_.assign(nb, BitVector(nr));
+    live_out_.assign(nb, BitVector(nr));
+
+    // Iterate to fixpoint (backward). Simple round-robin; CFGs here
+    // are small enough that worklist ordering is not worth the code.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = nb - 1; b >= 0; --b) {
+            BitVector out(nr);
+            for (BlockId s : f.block(b).succs())
+                out.unionWith(live_in_[s]);
+            BitVector in = out;
+            const auto &instrs = f.block(b).instrs();
+            for (auto it = instrs.rbegin(); it != instrs.rend(); ++it) {
+                Reg def = f.defOf(*it);
+                if (def != kNoReg)
+                    in.reset(def);
+                if (!filter_ || filter_(f, *it, filter_ctx_)) {
+                    for (Reg use : f.usesOf(*it))
+                        in.set(use);
+                }
+            }
+            if (!(out == live_out_[b])) {
+                live_out_[b] = std::move(out);
+                changed = true;
+            }
+            if (!(in == live_in_[b])) {
+                live_in_[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+BitVector
+Liveness::liveAt(const ProgramPoint &p) const
+{
+    const Function &f = func_;
+    const BasicBlock &bb = f.block(p.block);
+    GMT_ASSERT(p.pos >= 0 && p.pos <= static_cast<int>(bb.size()));
+    BitVector live = live_out_[p.block];
+    const auto &instrs = bb.instrs();
+    for (int i = static_cast<int>(instrs.size()) - 1; i >= p.pos; --i) {
+        InstrId id = instrs[i];
+        Reg def = f.defOf(id);
+        if (def != kNoReg)
+            live.reset(def);
+        if (!filter_ || filter_(f, id, filter_ctx_)) {
+            for (Reg use : f.usesOf(id))
+                live.set(use);
+        }
+    }
+    return live;
+}
+
+bool
+Liveness::isLiveAt(Reg r, const ProgramPoint &p) const
+{
+    return liveAt(p).test(r);
+}
+
+} // namespace gmt

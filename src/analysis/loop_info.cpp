@@ -1,0 +1,116 @@
+#include "analysis/loop_info.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+bool
+Loop::contains(BlockId b) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+LoopInfo::LoopInfo(const Function &f, const DominatorTree &dom)
+{
+    loop_of_.assign(f.numBlocks(), -1);
+
+    // Find back edges (n -> h with h dominating n); merge loops that
+    // share a header.
+    std::map<BlockId, std::vector<BlockId>> header_to_body;
+    for (BlockId n = 0; n < f.numBlocks(); ++n) {
+        for (BlockId h : f.block(n).succs()) {
+            if (!dom.dominates(h, n))
+                continue;
+            // Natural loop of (n -> h): h plus all blocks reaching n
+            // without passing through h (backward walk from n).
+            auto &body = header_to_body[h];
+            std::vector<bool> in_loop(f.numBlocks(), false);
+            in_loop[h] = true;
+            std::vector<BlockId> work;
+            if (!in_loop[n]) {
+                in_loop[n] = true;
+                work.push_back(n);
+            }
+            while (!work.empty()) {
+                BlockId b = work.back();
+                work.pop_back();
+                for (BlockId p : f.block(b).preds()) {
+                    if (!in_loop[p]) {
+                        in_loop[p] = true;
+                        work.push_back(p);
+                    }
+                }
+            }
+            for (BlockId b = 0; b < f.numBlocks(); ++b) {
+                if (in_loop[b])
+                    body.push_back(b);
+            }
+        }
+    }
+
+    for (auto &[header, body] : header_to_body) {
+        std::sort(body.begin(), body.end());
+        body.erase(std::unique(body.begin(), body.end()), body.end());
+        Loop loop;
+        loop.header = header;
+        loop.blocks = body;
+        loops_.push_back(std::move(loop));
+    }
+
+    // Establish nesting: loop A is inside loop B if A's header is in
+    // B's block set and A != B. Parent = smallest enclosing loop.
+    for (size_t a = 0; a < loops_.size(); ++a) {
+        size_t best = SIZE_MAX;
+        for (size_t b = 0; b < loops_.size(); ++b) {
+            if (a == b || !loops_[b].contains(loops_[a].header))
+                continue;
+            if (loops_[b].blocks.size() == loops_[a].blocks.size() &&
+                loops_[a].header != loops_[b].header) {
+                continue; // identical bodies, distinct headers: siblings
+            }
+            if (loops_[b].blocks.size() <= loops_[a].blocks.size() &&
+                b != a && loops_[b].header == loops_[a].header) {
+                continue;
+            }
+            if (loops_[b].blocks.size() >= loops_[a].blocks.size() &&
+                (best == SIZE_MAX ||
+                 loops_[b].blocks.size() < loops_[best].blocks.size())) {
+                best = b;
+            }
+        }
+        loops_[a].parent = (best == SIZE_MAX) ? -1 : static_cast<int>(best);
+    }
+    // Depths via parent chains.
+    for (auto &loop : loops_) {
+        int d = 1;
+        for (int p = loop.parent; p != -1; p = loops_[p].parent)
+            ++d;
+        loop.depth = d;
+    }
+
+    // Innermost loop per block = the smallest loop containing it.
+    for (BlockId b = 0; b < f.numBlocks(); ++b) {
+        size_t best = SIZE_MAX;
+        for (size_t i = 0; i < loops_.size(); ++i) {
+            if (loops_[i].contains(b) &&
+                (best == SIZE_MAX ||
+                 loops_[i].blocks.size() < loops_[best].blocks.size())) {
+                best = i;
+            }
+        }
+        loop_of_[b] = (best == SIZE_MAX) ? -1 : static_cast<int>(best);
+    }
+}
+
+int
+LoopInfo::depthOf(BlockId b) const
+{
+    int l = loop_of_[b];
+    return l == -1 ? 0 : loops_[l].depth;
+}
+
+} // namespace gmt

@@ -1,0 +1,52 @@
+#ifndef GMT_ANALYSIS_LOOP_INFO_HPP
+#define GMT_ANALYSIS_LOOP_INFO_HPP
+
+/**
+ * @file
+ * Natural-loop detection (back edges under dominance). GREMIO's
+ * hierarchical scheduler walks the loop nest, and the static profile
+ * estimator weights blocks by nesting depth.
+ */
+
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/** One natural loop. */
+struct Loop
+{
+    BlockId header = kNoBlock;
+    std::vector<BlockId> blocks; ///< includes the header, sorted
+    int parent = -1;             ///< index of enclosing loop, or -1
+    int depth = 1;               ///< 1 = outermost
+
+    bool contains(BlockId b) const;
+};
+
+/** Loop nest of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Function &f, const DominatorTree &dom);
+
+    int numLoops() const { return static_cast<int>(loops_.size()); }
+    const Loop &loop(int i) const { return loops_[i]; }
+
+    /** Innermost loop containing @p b, or -1. */
+    int loopOf(BlockId b) const { return loop_of_[b]; }
+
+    /** Nesting depth of @p b (0 = not in any loop). */
+    int depthOf(BlockId b) const;
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> loop_of_;
+};
+
+} // namespace gmt
+
+#endif // GMT_ANALYSIS_LOOP_INFO_HPP

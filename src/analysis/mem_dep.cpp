@@ -1,0 +1,85 @@
+#include "analysis/mem_dep.hpp"
+
+#include <vector>
+
+#include "support/bit_vector.hpp"
+
+namespace gmt
+{
+
+bool
+mayAlias(AliasClass a, AliasClass b)
+{
+    return a == b || a == kAliasAny || b == kAliasAny;
+}
+
+std::vector<MemDep>
+computeMemDeps(const Function &f)
+{
+    // Block-level reachability closure (may pass through cycles).
+    const int nb = f.numBlocks();
+    std::vector<BitVector> reach(nb, BitVector(nb));
+    for (BlockId b = 0; b < nb; ++b) {
+        for (BlockId s : f.block(b).succs())
+            reach[b].set(s);
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = 0; b < nb; ++b) {
+            for (BlockId s : f.block(b).succs())
+                changed |= reach[b].unionWith(reach[s]);
+        }
+    }
+
+    // Collect memory instructions with their block positions.
+    struct MemAccess
+    {
+        InstrId id;
+        BlockId block;
+        int pos;
+        bool is_store;
+        AliasClass alias;
+    };
+    std::vector<MemAccess> accesses;
+    for (BlockId b = 0; b < nb; ++b) {
+        const auto &instrs = f.block(b).instrs();
+        for (int pos = 0; pos < static_cast<int>(instrs.size()); ++pos) {
+            const Instr &in = f.instr(instrs[pos]);
+            if (in.isMemoryAccess()) {
+                accesses.push_back({instrs[pos], b, pos,
+                                    in.op == Opcode::Store, in.alias});
+            }
+        }
+    }
+
+    auto pathExists = [&](const MemAccess &i, const MemAccess &j) {
+        if (i.block == j.block && i.pos < j.pos)
+            return true;
+        // Any path from i's block to j's block (possibly around a
+        // cycle re-entering the same block).
+        return reach[i.block].test(j.block);
+    };
+
+    std::vector<MemDep> deps;
+    for (const auto &i : accesses) {
+        for (const auto &j : accesses) {
+            if (i.id == j.id)
+                continue;
+            if (!i.is_store && !j.is_store)
+                continue; // read-read never constrains
+            if (!mayAlias(i.alias, j.alias))
+                continue;
+            if (!pathExists(i, j))
+                continue;
+            MemDepKind kind = i.is_store
+                                  ? (j.is_store ? MemDepKind::Output
+                                                : MemDepKind::Flow)
+                                  : MemDepKind::Anti;
+            deps.push_back({i.id, j.id, kind});
+        }
+    }
+    return deps;
+}
+
+} // namespace gmt

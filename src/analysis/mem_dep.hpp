@@ -1,0 +1,47 @@
+#ifndef GMT_ANALYSIS_MEM_DEP_HPP
+#define GMT_ANALYSIS_MEM_DEP_HPP
+
+/**
+ * @file
+ * Memory dependence analysis over alias classes.
+ *
+ * The paper's compiler consumes a context-sensitive points-to analysis
+ * [14]; this library substitutes alias-class annotations carried by
+ * every Load/Store (see DESIGN.md). Two accesses may alias iff their
+ * classes are equal or either is kAliasAny. A dependence arc i -> j is
+ * emitted when i and j may alias, at least one writes, and a CFG path
+ * from i to j exists (including loop-carried paths).
+ */
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/** Kind of a memory dependence. */
+enum class MemDepKind { Flow, Anti, Output };
+
+/** One memory dependence arc. */
+struct MemDep
+{
+    InstrId src = kNoInstr;
+    InstrId dst = kNoInstr;
+    MemDepKind kind = MemDepKind::Flow;
+};
+
+/** True if accesses with classes @p a and @p b may alias. */
+bool mayAlias(AliasClass a, AliasClass b);
+
+/**
+ * Compute all memory dependence arcs of @p f.
+ *
+ * Conservative in time (quadratic in memory instructions) but the
+ * regions the scheduler handles are single functions.
+ */
+std::vector<MemDep> computeMemDeps(const Function &f);
+
+} // namespace gmt
+
+#endif // GMT_ANALYSIS_MEM_DEP_HPP

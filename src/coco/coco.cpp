@@ -1,0 +1,261 @@
+#include "coco/coco.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "coco/flow_graph.hpp"
+#include "coco/relevant.hpp"
+#include "coco/safety.hpp"
+#include "coco/thread_liveness.hpp"
+#include "graph/multi_cut.hpp"
+#include "graph/scc.hpp"
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+using RegKey = std::tuple<int, int, Reg>;      // (ts, tt, r)
+using PairKey = std::pair<int, int>;           // (ts, tt)
+using PointList = std::vector<ProgramPoint>;
+
+PointList
+normalize(PointList points)
+{
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()),
+                 points.end());
+    return points;
+}
+
+/** Threads that need the value consumed by instruction u. */
+std::vector<int>
+needersOf(const Function &f, const ThreadPartition &partition,
+          const std::vector<BitVector> &relevant, InstrId u)
+{
+    std::vector<int> threads{partition.threadOf(u)};
+    if (f.instr(u).isBranch()) {
+        for (int t = 0; t < partition.num_threads; ++t) {
+            if (t != partition.threadOf(u) &&
+                relevant[t].test(f.instr(u).block)) {
+                threads.push_back(t);
+            }
+        }
+    }
+    return threads;
+}
+
+/** Default (MTCG) placement: right after each contributing def. */
+PointList
+defaultRegPoints(const Function &f, const Pdg &pdg,
+                 const ThreadPartition &partition,
+                 const std::vector<BitVector> &relevant, int ts, int tt,
+                 Reg r)
+{
+    PointList points;
+    for (const auto &arc : pdg.arcs()) {
+        if (arc.kind != DepKind::Register || arc.reg != r)
+            continue;
+        if (partition.threadOf(arc.src) != ts)
+            continue;
+        auto needers = needersOf(f, partition, relevant, arc.dst);
+        if (std::find(needers.begin(), needers.end(), tt) ==
+            needers.end())
+            continue;
+        points.push_back({f.instr(arc.src).block,
+                          f.positionOf(arc.src) + 1});
+    }
+    return normalize(std::move(points));
+}
+
+} // namespace
+
+CocoResult
+cocoOptimize(const Function &f, const Pdg &pdg,
+             const ThreadPartition &partition,
+             const ControlDependence &cd, const EdgeProfile &profile,
+             const CocoOptions &opts)
+{
+    CocoResult result;
+    const int nt = partition.num_threads;
+
+    std::vector<BitVector> relevant =
+        initRelevantBranches(f, cd, partition);
+
+    // Safety depends only on the partition: compute once per thread.
+    std::vector<std::unique_ptr<SafetyAnalysis>> safety;
+    for (int t = 0; t < nt; ++t)
+        safety.push_back(
+            std::make_unique<SafetyAnalysis>(f, partition, t));
+
+    std::map<RegKey, PointList> reg_placements;
+    std::map<PairKey, PointList> mem_placements;
+
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+        ++result.iterations;
+        result.register_cut_cost = 0;
+        result.memory_cut_cost = 0;
+
+        // Collect the work for each thread pair under the current
+        // relevant-branch sets.
+        std::map<PairKey, std::set<Reg>> reg_work;
+        std::map<PairKey, std::vector<std::pair<InstrId, InstrId>>>
+            mem_work;
+        for (const auto &arc : pdg.arcs()) {
+            int ts = partition.threadOf(arc.src);
+            if (arc.kind == DepKind::Register) {
+                for (int tt :
+                     needersOf(f, partition, relevant, arc.dst)) {
+                    if (tt != ts)
+                        reg_work[{ts, tt}].insert(arc.reg);
+                }
+            } else if (arc.kind == DepKind::Memory) {
+                int tt = partition.threadOf(arc.dst);
+                if (tt != ts)
+                    mem_work[{ts, tt}].emplace_back(arc.src, arc.dst);
+            }
+        }
+
+        // Quasi-topological order over the thread graph reduces the
+        // number of repeat-until iterations (paper §3.2).
+        Digraph tg(nt);
+        for (const auto &[key, _] : reg_work)
+            tg.addEdge(key.first, key.second);
+        for (const auto &[key, _] : mem_work)
+            tg.addEdge(key.first, key.second);
+        SccResult tg_sccs = computeSccs(tg);
+        std::vector<PairKey> pair_order;
+        for (const auto &[key, _] : reg_work)
+            pair_order.push_back(key);
+        for (const auto &[key, _] : mem_work) {
+            if (!reg_work.count(key))
+                pair_order.push_back(key);
+        }
+        std::sort(pair_order.begin(), pair_order.end(),
+                  [&](const PairKey &a, const PairKey &b) {
+                      auto ka = std::make_tuple(
+                          tg_sccs.component[a.first],
+                          tg_sccs.component[a.second], a);
+                      auto kb = std::make_tuple(
+                          tg_sccs.component[b.first],
+                          tg_sccs.component[b.second], b);
+                      return ka < kb;
+                  });
+
+        std::map<RegKey, PointList> new_reg;
+        std::map<PairKey, PointList> new_mem;
+
+        FlowGraphInputs inputs{&f,        &cd,
+                               &profile,  &partition,
+                               &relevant, opts.control_flow_penalties};
+
+        for (const PairKey &pair : pair_order) {
+            auto [ts, tt] = pair;
+            // Snapshot of tt's relevant branches for liveness.
+            ThreadLiveness live(f, partition, tt, relevant[tt]);
+
+            if (auto it = reg_work.find(pair); it != reg_work.end()) {
+                for (Reg r : it->second) {
+                    PointList points;
+                    if (opts.optimize_registers) {
+                        FlowGraph fg = buildRegisterFlowGraph(
+                            inputs, *safety[ts], live, r, ts, tt);
+                        if (!fg.trivial) {
+                            MaxFlow mf(fg.net, opts.flow_algo);
+                            Capacity flow =
+                                mf.solve(fg.source, fg.sink);
+                            GMT_ASSERT(mf.finite(),
+                                       "no finite register cut");
+                            result.register_cut_cost += flow;
+                            for (int a : mf.minCutArcs()) {
+                                GMT_ASSERT(fg.arc_points[a].block !=
+                                           kNoBlock);
+                                points.push_back(fg.arc_points[a]);
+                            }
+                            points = normalize(std::move(points));
+                        }
+                    }
+                    if (points.empty()) {
+                        points = defaultRegPoints(f, pdg, partition,
+                                                  relevant, ts, tt, r);
+                    }
+                    new_reg[{ts, tt, r}] = points;
+                    for (const auto &p : points)
+                        growRelevantForPoint(f, cd, relevant[tt], p);
+                }
+            }
+
+            if (auto it = mem_work.find(pair); it != mem_work.end()) {
+                PointList points;
+                if (opts.optimize_memory) {
+                    FlowGraph fg =
+                        buildMemoryFlowGraph(inputs, it->second, ts, tt);
+                    MultiCutResult cut =
+                        opts.multi_pair_memory
+                            ? multiPairMinCut(fg.net, fg.pairs,
+                                              opts.flow_algo)
+                            : superPairMinCut(fg.net, fg.pairs,
+                                              opts.flow_algo);
+                    GMT_ASSERT(cut.finite, "no finite memory cut");
+                    result.memory_cut_cost += cut.cost;
+                    for (int a : cut.arcs)
+                        points.push_back(fg.arc_points[a]);
+                    points = normalize(std::move(points));
+                } else {
+                    for (auto [src, _] : it->second) {
+                        points.push_back({f.instr(src).block,
+                                          f.positionOf(src) + 1});
+                    }
+                    points = normalize(std::move(points));
+                }
+                new_mem[pair] = points;
+                for (const auto &p : points)
+                    growRelevantForPoint(f, cd, relevant[tt], p);
+            }
+        }
+
+        bool converged =
+            (new_reg == reg_placements) && (new_mem == mem_placements);
+        reg_placements = std::move(new_reg);
+        mem_placements = std::move(new_mem);
+        if (converged)
+            break;
+    }
+
+    // Materialize the plan in deterministic order.
+    for (const auto &[key, points] : reg_placements) {
+        auto [ts, tt, r] = key;
+        if (points.empty())
+            continue;
+        result.plan.placements.push_back(
+            {CommKind::RegisterData, r, ts, tt, points});
+    }
+    for (const auto &[key, points] : mem_placements) {
+        auto [ts, tt] = key;
+        if (points.empty())
+            continue;
+        result.plan.placements.push_back(
+            {CommKind::MemorySync, kNoReg, ts, tt, points});
+    }
+    return result;
+}
+
+uint64_t
+planDynamicCost(const Function &f, const CommPlan &plan,
+                const EdgeProfile &profile)
+{
+    (void)f;
+    uint64_t cost = 0;
+    for (const auto &pl : plan.placements) {
+        for (const auto &p : pl.points)
+            cost += 2 * profile.pointWeight(p); // produce + consume
+    }
+    return cost;
+}
+
+} // namespace gmt

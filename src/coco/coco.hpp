@@ -1,0 +1,82 @@
+#ifndef GMT_COCO_COCO_HPP
+#define GMT_COCO_COCO_HPP
+
+/**
+ * @file
+ * The COCO optimizer (paper Algorithm 2): for every dependent thread
+ * pair, place each register's communication by a min-cut of its flow
+ * graph and all memory synchronization by a multi-pair min-cut,
+ * growing the target thread's relevant-branch set as placements land
+ * on new conditional points, iterating until the placement set
+ * converges (guaranteed: relevant sets only grow).
+ */
+
+#include "analysis/edge_profile.hpp"
+#include "graph/max_flow.hpp"
+#include "mtcg/comm_plan.hpp"
+#include "partition/partition.hpp"
+#include "pdg/pdg.hpp"
+
+namespace gmt
+{
+
+/** COCO configuration (ablation switches included). */
+struct CocoOptions
+{
+    /** Single-pair max-flow algorithm (paper uses Edmonds-Karp). */
+    FlowAlgorithm flow_algo = FlowAlgorithm::EdmondsKarp;
+
+    /** §3.1.2 control-flow penalties on arc costs. */
+    bool control_flow_penalties = true;
+
+    /** Optimize register communications (§3.1.1). */
+    bool optimize_registers = true;
+
+    /** Optimize memory synchronizations (§3.1.3). */
+    bool optimize_memory = true;
+
+    /**
+     * Use the paper's sequential per-pair heuristic for the (NP-hard)
+     * multi-pair memory cut; false = single super-pair cut baseline.
+     */
+    bool multi_pair_memory = true;
+
+    /** Safety valve for the repeat-until loop. */
+    int max_iterations = 16;
+};
+
+/** Result of the optimizer. */
+struct CocoResult
+{
+    CommPlan plan;
+
+    /** repeat-until iterations executed. */
+    int iterations = 0;
+
+    /** Total min-cut cost over all register cuts (profile units). */
+    Capacity register_cut_cost = 0;
+
+    /** Total multi-cut cost over all memory cuts. */
+    Capacity memory_cut_cost = 0;
+};
+
+/**
+ * Run COCO. Dependences whose kind is disabled by @p opts fall back
+ * to the default MTCG placement (after the source instruction).
+ */
+CocoResult cocoOptimize(const Function &f, const Pdg &pdg,
+                        const ThreadPartition &partition,
+                        const ControlDependence &cd,
+                        const EdgeProfile &profile,
+                        const CocoOptions &opts = {});
+
+/**
+ * Estimated dynamic communication instructions a plan executes
+ * (produce + consume at every point, weighted by the profile).
+ */
+uint64_t planDynamicCost(const Function &f, const CommPlan &plan,
+                         const EdgeProfile &profile);
+
+} // namespace gmt
+
+#endif // GMT_COCO_COCO_HPP

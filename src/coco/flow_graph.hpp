@@ -1,0 +1,89 @@
+#ifndef GMT_COCO_FLOW_GRAPH_HPP
+#define GMT_COCO_FLOW_GRAPH_HPP
+
+/**
+ * @file
+ * Construction of the min-cut flow graphs G_f (paper §3.1).
+ *
+ * Nodes are instructions (plus block-entry nodes and, for registers,
+ * the special S/T nodes); arcs are the control-flow steps between
+ * adjacent program points, so *cutting an arc is placing a
+ * produce/consume pair at a program point*. Costs are profile
+ * weights, plus §3.1.2's control-flow penalties for points whose
+ * execution condition would force new branches into the target
+ * thread, plus infinity where a placement would violate Safety
+ * (Property 3) or source-thread relevance (Property 2).
+ */
+
+#include <utility>
+#include <vector>
+
+#include "analysis/control_dep.hpp"
+#include "analysis/edge_profile.hpp"
+#include "coco/safety.hpp"
+#include "coco/thread_liveness.hpp"
+#include "graph/max_flow.hpp"
+#include "ir/function.hpp"
+#include "partition/partition.hpp"
+
+namespace gmt
+{
+
+/** A built flow graph plus the arc -> program-point mapping. */
+struct FlowGraph
+{
+    FlowNetwork net{0};
+
+    /** Register case: super source/sink. */
+    int source = -1;
+    int sink = -1;
+
+    /** Memory case: one (source, sink) node pair per dependence arc. */
+    std::vector<std::pair<int, int>> pairs;
+
+    /** arc id -> the program point cutting it selects; special arcs
+     *  map to {kNoBlock, -1}. */
+    std::vector<ProgramPoint> arc_points;
+
+    /** True if there was nothing to build (no defs or no uses). */
+    bool trivial = false;
+};
+
+/** Inputs shared by both builders. */
+struct FlowGraphInputs
+{
+    const Function *f;
+    const ControlDependence *cd;
+    const EdgeProfile *profile;
+    const ThreadPartition *partition;
+
+    /** Per-thread relevant-branch sets (current Algorithm 2 state). */
+    const std::vector<BitVector> *relevant;
+
+    /** Apply §3.1.2 control-flow penalties? */
+    bool penalties = true;
+};
+
+/**
+ * Build G_f for register @p r from thread @p ts to thread @p tt
+ * (§3.1.1 + §3.1.2). @p safety is the SafetyAnalysis of @p ts;
+ * @p live the ThreadLiveness of @p tt (with its current relevant
+ * branches).
+ */
+FlowGraph buildRegisterFlowGraph(const FlowGraphInputs &in,
+                                 const SafetyAnalysis &safety,
+                                 const ThreadLiveness &live, Reg r,
+                                 int ts, int tt);
+
+/**
+ * Build G_f for all memory dependences from @p ts to @p tt (§3.1.3):
+ * whole-region graph with one source/sink pair per dependence.
+ */
+FlowGraph buildMemoryFlowGraph(
+    const FlowGraphInputs &in,
+    const std::vector<std::pair<InstrId, InstrId>> &dep_pairs, int ts,
+    int tt);
+
+} // namespace gmt
+
+#endif // GMT_COCO_FLOW_GRAPH_HPP

@@ -1,0 +1,67 @@
+#include "coco/relevant.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/** Mark @p branch_block and, transitively, its controllers. */
+bool
+growClosure(const ControlDependence &cd, BitVector &set,
+            BlockId branch_block)
+{
+    if (set.test(branch_block))
+        return false;
+    set.set(branch_block);
+    for (BlockId up : cd.dependsOn(branch_block))
+        growClosure(cd, set, up);
+    return true;
+}
+
+} // namespace
+
+std::vector<BitVector>
+initRelevantBranches(const Function &f, const ControlDependence &cd,
+                     const ThreadPartition &p)
+{
+    std::vector<BitVector> sets(p.num_threads, BitVector(f.numBlocks()));
+    for (int t = 0; t < p.num_threads; ++t) {
+        for (InstrId i = 0; i < f.numInstrs(); ++i) {
+            if (p.threadOf(i) != t)
+                continue;
+            // Rule 1: branches assigned to t.
+            if (f.instr(i).isBranch())
+                growClosure(cd, sets[t], f.instr(i).block);
+            // Direct control dependences of t's instructions (the
+            // unavoidable control inputs), closed under rule 3.
+            for (BlockId b : cd.dependsOn(f.instr(i).block))
+                growClosure(cd, sets[t], b);
+        }
+    }
+    return sets;
+}
+
+bool
+growRelevantForPoint(const Function &f, const ControlDependence &cd,
+                     BitVector &set, const ProgramPoint &point)
+{
+    (void)f;
+    bool grew = false;
+    for (BlockId b : cd.dependsOn(point.block))
+        grew |= growClosure(cd, set, b);
+    return grew;
+}
+
+bool
+isRelevantPoint(const ControlDependence &cd, const BitVector &set,
+                BlockId block)
+{
+    for (BlockId b : cd.dependsOn(block)) {
+        if (!set.test(b))
+            return false;
+    }
+    return true;
+}
+
+} // namespace gmt

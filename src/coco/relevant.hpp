@@ -1,0 +1,48 @@
+#ifndef GMT_COCO_RELEVANT_HPP
+#define GMT_COCO_RELEVANT_HPP
+
+/**
+ * @file
+ * Monotone relevant-branch tracking for Algorithm 2 (paper
+ * Definition 1). The sets only grow across iterations, which is the
+ * paper's convergence argument.
+ */
+
+#include <vector>
+
+#include "analysis/control_dep.hpp"
+#include "ir/function.hpp"
+#include "partition/partition.hpp"
+#include "support/bit_vector.hpp"
+
+namespace gmt
+{
+
+/**
+ * Initial relevant-branch sets: per thread, branches assigned to it
+ * (rule 1), branches with a direct control dependence over any of its
+ * instructions' blocks, and the closure under "controls the block of
+ * a relevant branch" (rule 3).
+ */
+std::vector<BitVector> initRelevantBranches(const Function &f,
+                                            const ControlDependence &cd,
+                                            const ThreadPartition &p);
+
+/**
+ * Rule 2 growth: make every branch (transitively) controlling the
+ * block of @p point relevant in @p set.
+ * @return true if the set grew.
+ */
+bool growRelevantForPoint(const Function &f, const ControlDependence &cd,
+                          BitVector &set, const ProgramPoint &point);
+
+/**
+ * A point is relevant to a thread iff every branch controlling its
+ * block is in the thread's relevant set (Definition 2).
+ */
+bool isRelevantPoint(const ControlDependence &cd, const BitVector &set,
+                     BlockId block);
+
+} // namespace gmt
+
+#endif // GMT_COCO_RELEVANT_HPP

@@ -1,0 +1,93 @@
+#include "coco/safety.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+SafetyAnalysis::SafetyAnalysis(const Function &f,
+                               const ThreadPartition &partition,
+                               int src_thread)
+    : func_(f), partition_(partition), src_thread_(src_thread)
+{
+    const int nb = f.numBlocks();
+    const int nr = f.numRegs();
+
+    // Optimistic (top) initialization; the entry boundary is "all
+    // safe" because live-ins are broadcast at spawn. Iterating the
+    // intersection to the greatest fixpoint yields the precise
+    // merge-over-paths solution of this distributive framework.
+    safe_in_.assign(nb, BitVector(nr));
+    for (auto &s : safe_in_)
+        s.setAll();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = 0; b < nb; ++b) {
+            BitVector in(nr);
+            if (b == f.entry()) {
+                in.setAll();
+            } else {
+                bool first = true;
+                for (BlockId p : f.block(b).preds()) {
+                    BitVector out = safe_in_[p];
+                    for (InstrId i : f.block(p).instrs())
+                        transfer(out, i);
+                    if (first) {
+                        in = std::move(out);
+                        first = false;
+                    } else {
+                        in.intersectWith(out);
+                    }
+                }
+                // A block with no predecessors other than entry
+                // cannot occur (verifier guarantees reachability).
+                GMT_ASSERT(!first, "block without predecessors");
+            }
+            if (!(in == safe_in_[b])) {
+                safe_in_[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+void
+SafetyAnalysis::transfer(BitVector &safe, InstrId i) const
+{
+    const Function &f = func_;
+    Reg def = f.defOf(i);
+    bool mine = (partition_.threadOf(i) == src_thread_);
+
+    // SAFE - DEF(n): any thread's redefinition invalidates.
+    if (def != kNoReg)
+        safe.reset(def);
+    // u DEF_Ts u USE_Ts: the source thread's own defs and uses
+    // guarantee it holds the latest value.
+    if (mine) {
+        if (def != kNoReg)
+            safe.set(def);
+        for (Reg use : f.usesOf(i))
+            safe.set(use);
+    }
+}
+
+BitVector
+SafetyAnalysis::safeAt(const ProgramPoint &p) const
+{
+    const BasicBlock &bb = func_.block(p.block);
+    GMT_ASSERT(p.pos >= 0 && p.pos <= static_cast<int>(bb.size()));
+    BitVector safe = safe_in_[p.block];
+    for (int i = 0; i < p.pos; ++i)
+        transfer(safe, bb.instrs()[i]);
+    return safe;
+}
+
+bool
+SafetyAnalysis::isSafeAt(Reg r, const ProgramPoint &p) const
+{
+    return safeAt(p).test(r);
+}
+
+} // namespace gmt

@@ -1,0 +1,36 @@
+#include "coco/thread_liveness.hpp"
+
+namespace gmt
+{
+
+ThreadLiveness::ThreadLiveness(const Function &f,
+                               const ThreadPartition &partition,
+                               int thread,
+                               const BitVector &relevant_branches)
+    : func_(f)
+{
+    ctx_ = std::make_unique<Ctx>(
+        Ctx{&partition, thread, relevant_branches});
+    liveness_ = std::make_unique<Liveness>(f, &ThreadLiveness::filter,
+                                           ctx_.get());
+}
+
+bool
+ThreadLiveness::filter(const Function &f, InstrId i, const void *ctx)
+{
+    const Ctx *c = static_cast<const Ctx *>(ctx);
+    if (c->partition->threadOf(i) == c->thread)
+        return true;
+    // Replicated relevant branches consume their operand in this
+    // thread as well.
+    const Instr &in = f.instr(i);
+    return in.isBranch() && c->relevant_branches.test(in.block);
+}
+
+bool
+ThreadLiveness::usesCount(InstrId i) const
+{
+    return filter(func_, i, ctx_.get());
+}
+
+} // namespace gmt

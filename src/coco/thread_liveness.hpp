@@ -1,0 +1,65 @@
+#ifndef GMT_COCO_THREAD_LIVENESS_HPP
+#define GMT_COCO_THREAD_LIVENESS_HPP
+
+/**
+ * @file
+ * Thread-aware liveness: the live range of a register *with respect
+ * to a target thread* T_t — counting only uses in instructions
+ * assigned to T_t plus uses in branches currently relevant to T_t
+ * (replicated branches "belong to all threads to which they are
+ * relevant", so their operands are optimized together with data
+ * communication, paper §3.1.1).
+ */
+
+#include <memory>
+
+#include "analysis/liveness.hpp"
+#include "partition/partition.hpp"
+#include "support/bit_vector.hpp"
+
+namespace gmt
+{
+
+/**
+ * Owns the filter context and the filtered Liveness instance for one
+ * (function, target thread, relevant-branch set) triple.
+ */
+class ThreadLiveness
+{
+  public:
+    /**
+     * @param relevant_branches branch blocks currently relevant to
+     *        @p thread (a snapshot; rebuild after the set grows).
+     */
+    ThreadLiveness(const Function &f, const ThreadPartition &partition,
+                   int thread, const BitVector &relevant_branches);
+
+    const Liveness &liveness() const { return *liveness_; }
+
+    bool
+    isLiveAt(Reg r, const ProgramPoint &p) const
+    {
+        return liveness_->isLiveAt(r, p);
+    }
+
+    /** True if @p i's uses count as uses of the target thread. */
+    bool usesCount(InstrId i) const;
+
+  private:
+    struct Ctx
+    {
+        const ThreadPartition *partition;
+        int thread;
+        BitVector relevant_branches;
+    };
+
+    static bool filter(const Function &f, InstrId i, const void *ctx);
+
+    const Function &func_;
+    std::unique_ptr<Ctx> ctx_;
+    std::unique_ptr<Liveness> liveness_;
+};
+
+} // namespace gmt
+
+#endif // GMT_COCO_THREAD_LIVENESS_HPP

@@ -1,0 +1,163 @@
+#include "coco/validate.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "coco/safety.hpp"
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/**
+ * True if some instruction-level CFG path from @p start reaches the
+ * point just before instruction @p target without crossing any point
+ * in @p barrier.
+ */
+bool
+pathEscapes(const Function &f, ProgramPoint start, InstrId target,
+            const std::set<ProgramPoint> &barrier, Reg kill_reg)
+{
+    ProgramPoint goal{f.instr(target).block, f.positionOf(target)};
+    std::set<ProgramPoint> seen;
+    std::vector<ProgramPoint> work{start};
+    while (!work.empty()) {
+        ProgramPoint p = work.back();
+        work.pop_back();
+        if (barrier.count(p))
+            continue; // communication intercepts here
+        if (p == goal)
+            return true;
+        if (!seen.insert(p).second)
+            continue;
+        const BasicBlock &bb = f.block(p.block);
+        int size = static_cast<int>(bb.size());
+        GMT_ASSERT(p.pos >= 0 && p.pos < size);
+        // A redefinition of the register kills the dependence along
+        // this path: the value no longer needs to flow further.
+        InstrId here = bb.instrs()[p.pos];
+        if (kill_reg != kNoReg && f.defOf(here) == kill_reg)
+            continue;
+        if (p.pos < size - 1) {
+            work.push_back({p.block, p.pos + 1});
+        } else {
+            for (BlockId s : bb.succs())
+                work.push_back({s, 0});
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::string>
+validatePlan(const Function &f, const Pdg &pdg,
+             const ThreadPartition &partition,
+             const ControlDependence &cd, const CommPlan &plan)
+{
+    std::vector<std::string> problems;
+    auto complain = [&](auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        problems.push_back(os.str());
+    };
+
+    // Structural pre-check: every point must name a real program
+    // position before any analysis consumes the plan.
+    for (size_t pi = 0; pi < plan.placements.size(); ++pi) {
+        for (const auto &p : plan.placements[pi].points) {
+            if (p.block < 0 || p.block >= f.numBlocks() || p.pos < 0 ||
+                p.pos >= static_cast<int>(f.block(p.block).size())) {
+                complain("placement ", pi, ": invalid point");
+            }
+        }
+    }
+    if (!problems.empty())
+        return problems;
+
+    RelevantSets relevant(f, cd, partition, plan);
+
+    // Properties 2 and 3 per placement point.
+    std::vector<std::unique_ptr<SafetyAnalysis>> safety(
+        partition.num_threads);
+    for (size_t pi = 0; pi < plan.placements.size(); ++pi) {
+        const CommPlacement &pl = plan.placements[pi];
+        if (!safety[pl.src_thread]) {
+            safety[pl.src_thread] = std::make_unique<SafetyAnalysis>(
+                f, partition, pl.src_thread);
+        }
+        for (const auto &p : pl.points) {
+            if (!relevant.isRelevantPoint(pl.src_thread, p.block, cd)) {
+                complain("placement ", pi,
+                         ": Property 2 violated (point in block ",
+                         f.block(p.block).label(),
+                         " not relevant to source thread ",
+                         pl.src_thread, ")");
+            }
+            if (pl.kind == CommKind::RegisterData &&
+                !safety[pl.src_thread]->isSafeAt(pl.reg, p)) {
+                // MTCG's operand forwarding: a thread may re-produce
+                // a value it consumes *at the same point* from an
+                // earlier placement (Algorithm 1 lines 17-19 send a
+                // branch operand the owner just received). The
+                // earlier placement's own check guarantees the
+                // forwarded value is the latest.
+                bool forwarded = false;
+                for (size_t pj = 0; pj < pi && !forwarded; ++pj) {
+                    const CommPlacement &prev = plan.placements[pj];
+                    forwarded =
+                        prev.kind == CommKind::RegisterData &&
+                        prev.reg == pl.reg &&
+                        prev.dst_thread == pl.src_thread &&
+                        std::find(prev.points.begin(),
+                                  prev.points.end(),
+                                  p) != prev.points.end();
+                }
+                if (!forwarded) {
+                    complain("placement ", pi,
+                             ": Property 3 violated (r", pl.reg,
+                             " unsafe at ", f.block(p.block).label(),
+                             ":", p.pos, ")");
+                }
+            }
+        }
+    }
+
+    // Coverage of every cross-thread PDG arc.
+    for (const auto &arc : pdg.arcs()) {
+        int ts = partition.threadOf(arc.src);
+        int tt = partition.threadOf(arc.dst);
+        if (ts == tt || arc.kind == DepKind::Control)
+            continue;
+        // Union the points of all matching placements.
+        std::set<ProgramPoint> barrier;
+        for (const auto &pl : plan.placements) {
+            bool matches =
+                pl.src_thread == ts && pl.dst_thread == tt &&
+                ((arc.kind == DepKind::Register &&
+                  pl.kind == CommKind::RegisterData &&
+                  pl.reg == arc.reg) ||
+                 (arc.kind == DepKind::Memory &&
+                  pl.kind == CommKind::MemorySync));
+            if (matches)
+                barrier.insert(pl.points.begin(), pl.points.end());
+        }
+        ProgramPoint start{f.instr(arc.src).block,
+                           f.positionOf(arc.src) + 1};
+        Reg kill = arc.kind == DepKind::Register ? arc.reg : kNoReg;
+        if (pathEscapes(f, start, arc.dst, barrier, kill)) {
+            complain("arc i", arc.src, " -> i", arc.dst, " (",
+                     arc.kind == DepKind::Register ? "reg" : "mem",
+                     ") from T", ts, " to T", tt,
+                     " has an uncovered path");
+        }
+    }
+    return problems;
+}
+
+} // namespace gmt

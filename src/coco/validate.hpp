@@ -1,0 +1,43 @@
+#ifndef GMT_COCO_VALIDATE_HPP
+#define GMT_COCO_VALIDATE_HPP
+
+/**
+ * @file
+ * Independent validation of a communication plan against the paper's
+ * Properties 1-3 plus coverage: every cross-thread dependence must be
+ * cut by its placement's points on every CFG path. This module shares
+ * no code with the optimizer's graph construction, so it catches
+ * optimizer bugs rather than reproducing them.
+ */
+
+#include <string>
+#include <vector>
+
+#include "analysis/control_dep.hpp"
+#include "mtcg/comm_plan.hpp"
+#include "partition/partition.hpp"
+#include "pdg/pdg.hpp"
+
+namespace gmt
+{
+
+/**
+ * Check @p plan for @p partition:
+ *  - Safety (Property 3): every register placement point holds the
+ *    source thread's latest value of the register;
+ *  - Source relevance (Property 2): every point is a relevant point
+ *    of the source thread;
+ *  - Coverage: for every cross-thread register arc (def -> use) and
+ *    memory arc (src -> dst), every instruction-level CFG path from
+ *    source to destination crosses one of the placement's points.
+ *
+ * @return problems (empty = valid).
+ */
+std::vector<std::string> validatePlan(const Function &f, const Pdg &pdg,
+                                      const ThreadPartition &partition,
+                                      const ControlDependence &cd,
+                                      const CommPlan &plan);
+
+} // namespace gmt
+
+#endif // GMT_COCO_VALIDATE_HPP

@@ -1,0 +1,113 @@
+#ifndef GMT_DRIVER_PIPELINE_HPP
+#define GMT_DRIVER_PIPELINE_HPP
+
+/**
+ * @file
+ * End-to-end experiment pipeline, one call per (workload, scheduler,
+ * COCO on/off) cell of the paper's figures:
+ *
+ *   build IR -> split critical edges -> verify -> profile on train
+ *   input -> PDG -> partition (DSWP or GREMIO) -> placement (MTCG
+ *   default or COCO) -> MTCG -> run on ref input (MT interpreter:
+ *   dynamic instruction counts + equivalence oracle) -> timing
+ *   simulation (cycles, vs the single-threaded baseline).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "coco/coco.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/workload.hpp"
+
+namespace gmt
+{
+
+/** Which GMT partitioner to run. */
+enum class Scheduler { Dswp, Gremio };
+
+const char *schedulerName(Scheduler s);
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    Scheduler scheduler = Scheduler::Dswp;
+    int num_threads = 2;
+
+    /** Apply COCO (otherwise the default MTCG placement). */
+    bool use_coco = false;
+    CocoOptions coco;
+
+    MachineConfig machine = MachineConfig::paperDefault();
+
+    /** Run the timing simulation (skippable for instruction-count
+     *  only experiments). */
+    bool simulate = true;
+
+    /**
+     * Queue depth override; 0 picks the paper's per-scheduler default
+     * (32 for DSWP, 1 for GREMIO).
+     */
+    int queue_capacity = 0;
+
+    /**
+     * Architected queue budget for the queue allocator (paper
+     * footnote 1); 0 = one queue per placement.
+     */
+    int max_queues = 0;
+
+    /**
+     * Use the static (loop-depth) profile estimate instead of the
+     * train-input run — the paper cites [28] for static estimates
+     * being nearly as accurate.
+     */
+    bool static_profile = false;
+};
+
+/** Everything the figures need from one cell. */
+struct PipelineResult
+{
+    std::string workload;
+    std::string scheduler;
+    bool coco = false;
+
+    // Reference-input dynamic instruction counts (MT interpreter).
+    uint64_t computation = 0;         ///< original-instruction copies
+    uint64_t duplicated_branches = 0; ///< control-dep replicas
+    uint64_t reg_comm = 0;            ///< produce + consume
+    uint64_t mem_sync = 0;            ///< produce.sync + consume.sync
+
+    uint64_t communication() const { return reg_comm + mem_sync; }
+    uint64_t total() const
+    {
+        return computation + duplicated_branches + communication();
+    }
+
+    /** Cross-thread memory dependences present in the PDG? */
+    bool has_mem_deps = false;
+
+    // Timing (reference input).
+    uint64_t st_cycles = 0;
+    uint64_t mt_cycles = 0;
+    double speedup() const
+    {
+        return mt_cycles ? static_cast<double>(st_cycles) /
+                               static_cast<double>(mt_cycles)
+                         : 0.0;
+    }
+
+    /** COCO repeat-until iterations (0 when COCO is off). */
+    int coco_iterations = 0;
+};
+
+/**
+ * Run the full pipeline. Throws (via the library's fatal/panic) if
+ * anything fails; asserts that the generated code's observable
+ * behaviour matches the single-threaded reference on the ref input.
+ */
+PipelineResult runPipeline(const Workload &workload,
+                           const PipelineOptions &opts);
+
+} // namespace gmt
+
+#endif // GMT_DRIVER_PIPELINE_HPP

@@ -1,0 +1,44 @@
+#include "driver/report.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : xs) {
+        GMT_ASSERT(x > 0, "geomean of non-positive value");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+relativeComm(const PipelineResult &with_coco,
+             const PipelineResult &baseline)
+{
+    if (baseline.communication() == 0)
+        return 1.0;
+    return static_cast<double>(with_coco.communication()) /
+           static_cast<double>(baseline.communication());
+}
+
+} // namespace gmt

@@ -1,0 +1,32 @@
+#ifndef GMT_DRIVER_REPORT_HPP
+#define GMT_DRIVER_REPORT_HPP
+
+/**
+ * @file
+ * Small aggregation helpers shared by the bench harnesses (arithmetic
+ * and geometric means, percentage formatting over PipelineResults).
+ */
+
+#include <vector>
+
+#include "driver/pipeline.hpp"
+
+namespace gmt
+{
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for empty input (values must be positive). */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Relative dynamic communication of COCO vs MTCG for one cell
+ * (1.0 = unchanged; the paper's Figure 7 y-axis).
+ */
+double relativeComm(const PipelineResult &with_coco,
+                    const PipelineResult &baseline);
+
+} // namespace gmt
+
+#endif // GMT_DRIVER_REPORT_HPP

@@ -1,0 +1,91 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+NodeId
+Digraph::addNode()
+{
+    succs_.emplace_back();
+    preds_.emplace_back();
+    return static_cast<NodeId>(succs_.size() - 1);
+}
+
+void
+Digraph::addEdge(NodeId u, NodeId v)
+{
+    GMT_ASSERT(u >= 0 && u < numNodes() && v >= 0 && v < numNodes());
+    if (hasEdge(u, v))
+        return;
+    succs_[u].push_back(v);
+    preds_[v].push_back(u);
+    ++numEdges_;
+}
+
+bool
+Digraph::hasEdge(NodeId u, NodeId v) const
+{
+    const auto &s = succs_[u];
+    return std::find(s.begin(), s.end(), v) != s.end();
+}
+
+std::vector<NodeId>
+Digraph::topoSort() const
+{
+    std::vector<int> indeg(numNodes(), 0);
+    for (NodeId u = 0; u < numNodes(); ++u) {
+        for (NodeId v : succs_[u])
+            ++indeg[v];
+    }
+    std::deque<NodeId> ready;
+    for (NodeId u = 0; u < numNodes(); ++u) {
+        if (indeg[u] == 0)
+            ready.push_back(u);
+    }
+    std::vector<NodeId> order;
+    order.reserve(numNodes());
+    while (!ready.empty()) {
+        NodeId u = ready.front();
+        ready.pop_front();
+        order.push_back(u);
+        for (NodeId v : succs_[u]) {
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        }
+    }
+    if (static_cast<int>(order.size()) != numNodes())
+        return {}; // cyclic
+    return order;
+}
+
+bool
+Digraph::isAcyclic() const
+{
+    return numNodes() == 0 || !topoSort().empty();
+}
+
+std::vector<bool>
+Digraph::reachableFrom(NodeId start) const
+{
+    std::vector<bool> seen(numNodes(), false);
+    std::vector<NodeId> stack{start};
+    seen[start] = true;
+    while (!stack.empty()) {
+        NodeId u = stack.back();
+        stack.pop_back();
+        for (NodeId v : succs_[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace gmt

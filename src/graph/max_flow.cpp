@@ -1,0 +1,335 @@
+#include "graph/max_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+FlowNetwork::FlowNetwork(int num_nodes) : first_out_(num_nodes) {}
+
+int
+FlowNetwork::addNode()
+{
+    first_out_.emplace_back();
+    return numNodes() - 1;
+}
+
+int
+FlowNetwork::addArc(int u, int v, Capacity cap)
+{
+    GMT_ASSERT(u >= 0 && u < numNodes() && v >= 0 && v < numNodes());
+    GMT_ASSERT(cap >= 0);
+    int fwd = static_cast<int>(arcs_.size());
+    arcs_.push_back({v, cap});
+    arcs_.push_back({u, 0});
+    tails_.push_back(u);
+    tails_.push_back(v);
+    original_cap_.push_back(cap);
+    first_out_[u].push_back(fwd);
+    first_out_[v].push_back(fwd + 1);
+    return fwd / 2;
+}
+
+void
+FlowNetwork::removeArc(int arc)
+{
+    GMT_ASSERT(arc >= 0 && arc < numArcs());
+    // -1 marks deletion; minCutArcs() must still report arcs whose
+    // original capacity is zero (a zero profile weight does not make
+    // a program point impossible, only free to cut).
+    original_cap_[arc] = -1;
+    arcs_[2 * arc].residual = 0;
+    arcs_[2 * arc + 1].residual = 0;
+}
+
+MaxFlow::MaxFlow(FlowNetwork &net, FlowAlgorithm algo)
+    : net_(net), algo_(algo)
+{
+}
+
+void
+MaxFlow::reset()
+{
+    for (int a = 0; a < net_.numArcs(); ++a) {
+        // Deleted arcs (capacity -1) stay at zero residual.
+        net_.arcs_[2 * a].residual =
+            std::max<Capacity>(net_.original_cap_[a], 0);
+        net_.arcs_[2 * a + 1].residual = 0;
+    }
+    last_s_ = -1;
+    last_flow_ = 0;
+}
+
+Capacity
+MaxFlow::solve(int s, int t)
+{
+    GMT_ASSERT(s != t);
+    last_s_ = s;
+    last_t_ = t;
+    switch (algo_) {
+      case FlowAlgorithm::EdmondsKarp:
+        last_flow_ = solveEdmondsKarp(s, t);
+        break;
+      case FlowAlgorithm::Dinic:
+        last_flow_ = solveDinic(s, t);
+        break;
+      case FlowAlgorithm::PushRelabel:
+        last_flow_ = solvePushRelabel(s, t);
+        break;
+    }
+    return last_flow_;
+}
+
+Capacity
+MaxFlow::solveEdmondsKarp(int s, int t)
+{
+    auto &arcs = net_.arcs_;
+    Capacity total = 0;
+    std::vector<int> pred_arc(net_.numNodes());
+    while (true) {
+        // BFS for a shortest augmenting path.
+        std::fill(pred_arc.begin(), pred_arc.end(), -1);
+        pred_arc[s] = -2;
+        std::deque<int> queue{s};
+        while (!queue.empty() && pred_arc[t] == -1) {
+            int u = queue.front();
+            queue.pop_front();
+            for (int a : net_.first_out_[u]) {
+                int v = arcs[a].to;
+                if (pred_arc[v] == -1 && arcs[a].residual > 0) {
+                    pred_arc[v] = a;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if (pred_arc[t] == -1)
+            break;
+        // Find the bottleneck and augment.
+        Capacity bottleneck = std::numeric_limits<Capacity>::max();
+        for (int v = t; v != s;) {
+            int a = pred_arc[v];
+            bottleneck = std::min(bottleneck, arcs[a].residual);
+            v = arcs[a ^ 1].to;
+        }
+        for (int v = t; v != s;) {
+            int a = pred_arc[v];
+            arcs[a].residual -= bottleneck;
+            arcs[a ^ 1].residual += bottleneck;
+            v = arcs[a ^ 1].to;
+        }
+        total += bottleneck;
+    }
+    return total;
+}
+
+Capacity
+MaxFlow::solveDinic(int s, int t)
+{
+    auto &arcs = net_.arcs_;
+    const int n = net_.numNodes();
+    std::vector<int> level(n), iter(n);
+
+    auto bfs = [&]() -> bool {
+        std::fill(level.begin(), level.end(), -1);
+        level[s] = 0;
+        std::deque<int> queue{s};
+        while (!queue.empty()) {
+            int u = queue.front();
+            queue.pop_front();
+            for (int a : net_.first_out_[u]) {
+                int v = arcs[a].to;
+                if (level[v] == -1 && arcs[a].residual > 0) {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        return level[t] != -1;
+    };
+
+    // Iterative blocking-flow DFS.
+    Capacity total = 0;
+    std::vector<int> path; // internal arc ids along current path
+    while (bfs()) {
+        std::fill(iter.begin(), iter.end(), 0);
+        path.clear();
+        int u = s;
+        while (true) {
+            if (u == t) {
+                Capacity bottleneck = std::numeric_limits<Capacity>::max();
+                for (int a : path)
+                    bottleneck = std::min(bottleneck, arcs[a].residual);
+                for (int a : path) {
+                    arcs[a].residual -= bottleneck;
+                    arcs[a ^ 1].residual += bottleneck;
+                }
+                total += bottleneck;
+                // Retreat to the first saturated arc on the path.
+                size_t keep = 0;
+                while (keep < path.size() &&
+                       arcs[path[keep]].residual > 0) {
+                    ++keep;
+                }
+                path.resize(keep);
+                u = path.empty() ? s : arcs[path.back()].to;
+                continue;
+            }
+            bool advanced = false;
+            auto &out = net_.first_out_[u];
+            for (int &i = iter[u]; i < static_cast<int>(out.size()); ++i) {
+                int a = out[i];
+                int v = arcs[a].to;
+                if (arcs[a].residual > 0 && level[v] == level[u] + 1) {
+                    path.push_back(a);
+                    u = v;
+                    advanced = true;
+                    break;
+                }
+            }
+            if (!advanced) {
+                level[u] = -1; // dead end
+                if (path.empty())
+                    break;
+                path.pop_back();
+                u = path.empty() ? s : arcs[path.back()].to;
+            }
+        }
+    }
+    return total;
+}
+
+Capacity
+MaxFlow::solvePushRelabel(int s, int t)
+{
+    auto &arcs = net_.arcs_;
+    const int n = net_.numNodes();
+    std::vector<Capacity> excess(n, 0);
+    std::vector<int> height(n, 0), iter(n, 0);
+    std::deque<int> active;
+
+    height[s] = n;
+    for (int a : net_.first_out_[s]) {
+        if ((a & 1) == 0 && arcs[a].residual > 0) {
+            Capacity d = arcs[a].residual;
+            int v = arcs[a].to;
+            arcs[a].residual = 0;
+            arcs[a ^ 1].residual += d;
+            excess[v] += d;
+            if (v != t && v != s && excess[v] == d)
+                active.push_back(v);
+        }
+    }
+
+    while (!active.empty()) {
+        int u = active.front();
+        active.pop_front();
+        while (excess[u] > 0) {
+            auto &out = net_.first_out_[u];
+            if (iter[u] == static_cast<int>(out.size())) {
+                // Relabel: height = 1 + min over admissible arcs.
+                int min_h = 2 * n;
+                for (int a : out) {
+                    if (arcs[a].residual > 0)
+                        min_h = std::min(min_h, height[arcs[a].to]);
+                }
+                // An active node always has a residual out-arc (the
+                // reverse of an arc that delivered its excess), and
+                // heights are bounded by 2n-1 in push-relabel.
+                GMT_ASSERT(min_h < 2 * n, "push-relabel height overflow");
+                height[u] = min_h + 1;
+                iter[u] = 0;
+                continue;
+            }
+            int a = out[iter[u]];
+            int v = arcs[a].to;
+            if (arcs[a].residual > 0 && height[u] == height[v] + 1) {
+                Capacity d = std::min(excess[u], arcs[a].residual);
+                arcs[a].residual -= d;
+                arcs[a ^ 1].residual += d;
+                excess[u] -= d;
+                bool was_inactive = (excess[v] == 0);
+                excess[v] += d;
+                if (was_inactive && v != s && v != t)
+                    active.push_back(v);
+            } else {
+                ++iter[u];
+            }
+        }
+    }
+    return excess[t];
+}
+
+std::vector<bool>
+MaxFlow::residualReachable(int s) const
+{
+    std::vector<bool> seen(net_.numNodes(), false);
+    std::vector<int> stack{s};
+    seen[s] = true;
+    while (!stack.empty()) {
+        int u = stack.back();
+        stack.pop_back();
+        for (int a : net_.first_out_[u]) {
+            int v = net_.arcs_[a].to;
+            if (!seen[v] && net_.arcs_[a].residual > 0) {
+                seen[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<bool>
+MaxFlow::residualReaching(int t) const
+{
+    // Reverse traversal: x can step to y (against an arc y -> x) iff
+    // the arc y -> x has residual capacity; for internal arc b = x->y,
+    // its partner b^1 is y -> x.
+    std::vector<bool> seen(net_.numNodes(), false);
+    std::vector<int> stack{t};
+    seen[t] = true;
+    while (!stack.empty()) {
+        int x = stack.back();
+        stack.pop_back();
+        for (int b : net_.first_out_[x]) {
+            int y = net_.arcs_[b].to;
+            if (!seen[y] && net_.arcs_[b ^ 1].residual > 0) {
+                seen[y] = true;
+                stack.push_back(y);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<int>
+MaxFlow::minCutArcs(CutSide side) const
+{
+    GMT_ASSERT(last_s_ >= 0, "solve() must run before minCutArcs()");
+    // Source side: nodes reachable from s in the residual graph.
+    // Sink side: complement of the nodes reaching t — both are valid
+    // minimum cuts; they differ only in which of several equal-cost
+    // cuts is reported.
+    std::vector<bool> source_side;
+    if (side == CutSide::Source) {
+        source_side = residualReachable(last_s_);
+    } else {
+        source_side = residualReaching(last_t_);
+        source_side.flip();
+    }
+    std::vector<int> cut;
+    for (int a = 0; a < net_.numArcs(); ++a) {
+        if (net_.original_cap_[a] < 0)
+            continue; // deleted by removeArc
+        if (source_side[net_.arcTail(a)] && !source_side[net_.arcHead(a)])
+            cut.push_back(a);
+    }
+    return cut;
+}
+
+} // namespace gmt

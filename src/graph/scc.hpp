@@ -1,0 +1,39 @@
+#ifndef GMT_GRAPH_SCC_HPP
+#define GMT_GRAPH_SCC_HPP
+
+/**
+ * @file
+ * Strongly connected components (iterative Tarjan) and the condensation
+ * DAG. DSWP partitions the PDG's condensation, so both live here.
+ */
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace gmt
+{
+
+/** Result of an SCC decomposition. */
+struct SccResult
+{
+    /** Component index of each node; components are numbered so that
+     *  every edge of the condensation goes from a lower-numbered
+     *  component to a higher-numbered one (topological order). */
+    std::vector<int> component;
+
+    /** Members of each component, in input-node order. */
+    std::vector<std::vector<NodeId>> members;
+
+    int numComponents() const { return static_cast<int>(members.size()); }
+};
+
+/** Decompose @p g into strongly connected components. */
+SccResult computeSccs(const Digraph &g);
+
+/** Build the condensation DAG of @p g given its SCC decomposition. */
+Digraph condense(const Digraph &g, const SccResult &sccs);
+
+} // namespace gmt
+
+#endif // GMT_GRAPH_SCC_HPP

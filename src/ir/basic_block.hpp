@@ -1,0 +1,63 @@
+#ifndef GMT_IR_BASIC_BLOCK_HPP
+#define GMT_IR_BASIC_BLOCK_HPP
+
+/**
+ * @file
+ * A basic block: an ordered list of instruction handles plus explicit
+ * successor edges (the terminator's targets).
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+
+namespace gmt
+{
+
+/**
+ * Basic block. Instruction bodies live in the owning Function's arena;
+ * the block stores ordered InstrIds. The last instruction is the
+ * terminator. Successor order is semantic for Br: succs[0] is the
+ * taken target (condition != 0), succs[1] the fall-through.
+ */
+class BasicBlock
+{
+  public:
+    BasicBlock(BlockId id, std::string label)
+        : id_(id), label_(std::move(label))
+    {
+    }
+
+    BlockId id() const { return id_; }
+    const std::string &label() const { return label_; }
+
+    const std::vector<InstrId> &instrs() const { return instrs_; }
+    std::vector<InstrId> &instrs() { return instrs_; }
+
+    const std::vector<BlockId> &succs() const { return succs_; }
+    const std::vector<BlockId> &preds() const { return preds_; }
+
+    bool empty() const { return instrs_.empty(); }
+    size_t size() const { return instrs_.size(); }
+
+    /** The terminator's InstrId (last instruction). */
+    InstrId
+    terminator() const
+    {
+        return instrs_.empty() ? kNoInstr : instrs_.back();
+    }
+
+  private:
+    friend class Function;
+
+    BlockId id_;
+    std::string label_;
+    std::vector<InstrId> instrs_;
+    std::vector<BlockId> succs_;
+    std::vector<BlockId> preds_;
+};
+
+} // namespace gmt
+
+#endif // GMT_IR_BASIC_BLOCK_HPP

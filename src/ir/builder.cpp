@@ -1,0 +1,170 @@
+#include "ir/builder.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+Reg
+FunctionBuilder::param()
+{
+    Reg r = func_.newReg();
+    func_.addParam(r);
+    return r;
+}
+
+BlockId
+FunctionBuilder::newBlock(const std::string &label)
+{
+    BlockId b = func_.addBlock(label);
+    if (current_ == kNoBlock)
+        current_ = b;
+    return b;
+}
+
+InstrId
+FunctionBuilder::emit(Instr instr)
+{
+    GMT_ASSERT(current_ != kNoBlock, "no current block");
+    last_ = func_.append(current_, instr);
+    return last_;
+}
+
+Reg
+FunctionBuilder::constI(int64_t value)
+{
+    Reg dst = func_.newReg();
+    emit({.op = Opcode::Const, .dst = dst, .imm = value});
+    return dst;
+}
+
+Reg
+FunctionBuilder::mov(Reg src)
+{
+    Reg dst = func_.newReg();
+    emit({.op = Opcode::Mov, .dst = dst, .src1 = src});
+    return dst;
+}
+
+Reg
+FunctionBuilder::binop(Opcode op, Reg a, Reg b)
+{
+    GMT_ASSERT(numSrcs(op) == 2 && hasDest(op));
+    Reg dst = func_.newReg();
+    emit({.op = op, .dst = dst, .src1 = a, .src2 = b});
+    return dst;
+}
+
+Reg
+FunctionBuilder::unop(Opcode op, Reg a)
+{
+    GMT_ASSERT(numSrcs(op) == 1 && hasDest(op));
+    Reg dst = func_.newReg();
+    emit({.op = op, .dst = dst, .src1 = a});
+    return dst;
+}
+
+Reg
+FunctionBuilder::addImm(Reg a, int64_t imm)
+{
+    if (imm == 0)
+        return mov(a);
+    Reg c = constI(imm);
+    return add(a, c);
+}
+
+Reg
+FunctionBuilder::load(Reg addr, int64_t offset, AliasClass alias)
+{
+    Reg dst = func_.newReg();
+    emit({.op = Opcode::Load,
+          .dst = dst,
+          .src1 = addr,
+          .imm = offset,
+          .alias = alias});
+    return dst;
+}
+
+void
+FunctionBuilder::store(Reg addr, int64_t offset, Reg value,
+                       AliasClass alias)
+{
+    emit({.op = Opcode::Store,
+          .src1 = addr,
+          .src2 = value,
+          .imm = offset,
+          .alias = alias});
+}
+
+void
+FunctionBuilder::movInto(Reg dst, Reg src)
+{
+    emit({.op = Opcode::Mov, .dst = dst, .src1 = src});
+}
+
+void
+FunctionBuilder::addInto(Reg dst, Reg a, Reg b)
+{
+    emit({.op = Opcode::Add, .dst = dst, .src1 = a, .src2 = b});
+}
+
+void
+FunctionBuilder::binopInto(Opcode op, Reg dst, Reg a, Reg b)
+{
+    GMT_ASSERT(numSrcs(op) == 2 && hasDest(op));
+    emit({.op = op, .dst = dst, .src1 = a, .src2 = b});
+}
+
+void
+FunctionBuilder::unopInto(Opcode op, Reg dst, Reg a)
+{
+    GMT_ASSERT(numSrcs(op) == 1 && hasDest(op));
+    emit({.op = op, .dst = dst, .src1 = a});
+}
+
+void
+FunctionBuilder::constInto(Reg dst, int64_t value)
+{
+    emit({.op = Opcode::Const, .dst = dst, .imm = value});
+}
+
+void
+FunctionBuilder::loadInto(Reg dst, Reg addr, int64_t offset,
+                          AliasClass alias)
+{
+    emit({.op = Opcode::Load,
+          .dst = dst,
+          .src1 = addr,
+          .imm = offset,
+          .alias = alias});
+}
+
+void
+FunctionBuilder::br(Reg cond, BlockId taken, BlockId fallthrough)
+{
+    emit({.op = Opcode::Br, .src1 = cond});
+    func_.setSuccs(current_, {taken, fallthrough});
+}
+
+void
+FunctionBuilder::jmp(BlockId target)
+{
+    emit({.op = Opcode::Jmp});
+    func_.setSuccs(current_, {target});
+}
+
+void
+FunctionBuilder::ret(std::initializer_list<Reg> live_outs)
+{
+    ret(std::vector<Reg>(live_outs));
+}
+
+void
+FunctionBuilder::ret(const std::vector<Reg> &live_outs)
+{
+    func_.setLiveOuts(live_outs);
+    emit({.op = Opcode::Ret});
+    func_.setSuccs(current_, {});
+}
+
+} // namespace gmt

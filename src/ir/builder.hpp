@@ -1,0 +1,112 @@
+#ifndef GMT_IR_BUILDER_HPP
+#define GMT_IR_BUILDER_HPP
+
+/**
+ * @file
+ * Fluent construction API for IR functions — the way workloads, tests,
+ * and the paper's worked examples are written.
+ *
+ * @code
+ *   FunctionBuilder b("sum");
+ *   Reg n = b.param();
+ *   BlockId head = b.newBlock("head"), body = b.newBlock("body"),
+ *           done = b.newBlock("done");
+ *   ...
+ *   Function f = b.finish();
+ * @endcode
+ */
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/** Incremental Function builder. */
+class FunctionBuilder
+{
+  public:
+    explicit FunctionBuilder(std::string name) : func_(std::move(name)) {}
+
+    /** Declare a live-in parameter register. */
+    Reg param();
+
+    /** Create a block; the first one becomes the entry. */
+    BlockId newBlock(const std::string &label);
+
+    /** Direct instructions into block @p b. */
+    void setBlock(BlockId b) { current_ = b; }
+
+    BlockId currentBlock() const { return current_; }
+
+    // --- instruction emitters (into the current block) --------------
+
+    Reg constI(int64_t value);
+    Reg mov(Reg src);
+    Reg binop(Opcode op, Reg a, Reg b);
+    Reg add(Reg a, Reg b) { return binop(Opcode::Add, a, b); }
+    Reg sub(Reg a, Reg b) { return binop(Opcode::Sub, a, b); }
+    Reg mul(Reg a, Reg b) { return binop(Opcode::Mul, a, b); }
+    Reg div(Reg a, Reg b) { return binop(Opcode::Div, a, b); }
+    Reg rem(Reg a, Reg b) { return binop(Opcode::Rem, a, b); }
+    Reg min(Reg a, Reg b) { return binop(Opcode::Min, a, b); }
+    Reg max(Reg a, Reg b) { return binop(Opcode::Max, a, b); }
+    Reg shl(Reg a, Reg b) { return binop(Opcode::Shl, a, b); }
+    Reg shr(Reg a, Reg b) { return binop(Opcode::Shr, a, b); }
+    Reg andr(Reg a, Reg b) { return binop(Opcode::And, a, b); }
+    Reg orr(Reg a, Reg b) { return binop(Opcode::Or, a, b); }
+    Reg xorr(Reg a, Reg b) { return binop(Opcode::Xor, a, b); }
+    Reg unop(Opcode op, Reg a);
+    Reg neg(Reg a) { return unop(Opcode::Neg, a); }
+    Reg abs(Reg a) { return unop(Opcode::Abs, a); }
+    Reg cmpEq(Reg a, Reg b) { return binop(Opcode::CmpEq, a, b); }
+    Reg cmpNe(Reg a, Reg b) { return binop(Opcode::CmpNe, a, b); }
+    Reg cmpLt(Reg a, Reg b) { return binop(Opcode::CmpLt, a, b); }
+    Reg cmpLe(Reg a, Reg b) { return binop(Opcode::CmpLe, a, b); }
+    Reg cmpGt(Reg a, Reg b) { return binop(Opcode::CmpGt, a, b); }
+    Reg cmpGe(Reg a, Reg b) { return binop(Opcode::CmpGe, a, b); }
+
+    /** dst = a + imm (emitted as Const + Add when imm != 0). */
+    Reg addImm(Reg a, int64_t imm);
+
+    Reg load(Reg addr, int64_t offset, AliasClass alias);
+    void store(Reg addr, int64_t offset, Reg value, AliasClass alias);
+
+    /** Overwrite an existing register (e.g. a loop counter). */
+    void movInto(Reg dst, Reg src);
+    void addInto(Reg dst, Reg a, Reg b);
+    void binopInto(Opcode op, Reg dst, Reg a, Reg b);
+    void unopInto(Opcode op, Reg dst, Reg a);
+    void constInto(Reg dst, int64_t value);
+    void loadInto(Reg dst, Reg addr, int64_t offset, AliasClass alias);
+
+    // --- terminators -------------------------------------------------
+
+    /** if (cond != 0) goto taken else goto fallthrough. */
+    void br(Reg cond, BlockId taken, BlockId fallthrough);
+    void jmp(BlockId target);
+    void ret(std::initializer_list<Reg> live_outs = {});
+    void ret(const std::vector<Reg> &live_outs);
+
+    /** The InstrId most recently emitted. */
+    InstrId lastInstr() const { return last_; }
+
+    /** Finish: runs no verification; callers verify explicitly. */
+    Function finish() { return std::move(func_); }
+
+    Function &func() { return func_; }
+
+  private:
+    InstrId emit(Instr instr);
+
+    Function func_;
+    BlockId current_ = kNoBlock;
+    InstrId last_ = kNoInstr;
+};
+
+} // namespace gmt
+
+#endif // GMT_IR_BUILDER_HPP

@@ -1,0 +1,51 @@
+#include "ir/edge_split.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+bool
+isCriticalEdge(const Function &f, BlockId from, BlockId to)
+{
+    return f.block(from).succs().size() > 1 &&
+           f.block(to).preds().size() > 1;
+}
+
+int
+splitCriticalEdges(Function &f)
+{
+    // Collect first: splitting mutates succ lists.
+    std::vector<std::pair<BlockId, BlockId>> critical;
+    for (BlockId b = 0; b < f.numBlocks(); ++b) {
+        for (BlockId s : f.block(b).succs()) {
+            if (isCriticalEdge(f, b, s))
+                critical.emplace_back(b, s);
+        }
+    }
+
+    for (auto [from, to] : critical) {
+        BlockId mid = f.addBlock(f.block(from).label() + "_" +
+                                 f.block(to).label() + "_split");
+        f.append(mid, {.op = Opcode::Jmp});
+        f.setSuccs(mid, {to});
+        // Redirect the edge from -> to through mid, preserving the
+        // successor slot (slot order encodes taken/fall-through).
+        std::vector<BlockId> succs = f.block(from).succs();
+        bool redirected = false;
+        for (auto &s : succs) {
+            if (s == to && !redirected) {
+                s = mid;
+                redirected = true;
+            }
+        }
+        GMT_ASSERT(redirected, "critical edge vanished");
+        f.setSuccs(from, std::move(succs));
+    }
+    return static_cast<int>(critical.size());
+}
+
+} // namespace gmt

@@ -1,0 +1,33 @@
+#ifndef GMT_IR_EDGE_SPLIT_HPP
+#define GMT_IR_EDGE_SPLIT_HPP
+
+/**
+ * @file
+ * Critical-edge splitting.
+ *
+ * COCO's min-cut can select any CFG arc as a communication point. A
+ * cut arc must map to a unique program point, which fails for a
+ * critical edge (multi-successor source, multi-predecessor target).
+ * Splitting all critical edges before analysis guarantees every
+ * inter-block arc is identified either with the end of its source
+ * block or the entry of its target block (paper §3.1.1's
+ * "basic block entry" nodes).
+ */
+
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/**
+ * Split every critical edge of @p f by inserting a block holding a
+ * single Jmp. @return the number of edges split.
+ */
+int splitCriticalEdges(Function &f);
+
+/** True if the edge from @p from to @p to is critical. */
+bool isCriticalEdge(const Function &f, BlockId from, BlockId to);
+
+} // namespace gmt
+
+#endif // GMT_IR_EDGE_SPLIT_HPP

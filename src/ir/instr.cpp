@@ -1,0 +1,114 @@
+#include "ir/instr.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const: return "const";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Neg: return "neg";
+      case Opcode::Not: return "not";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Abs: return "abs";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Br: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Ret: return "ret";
+      case Opcode::Produce: return "produce";
+      case Opcode::Consume: return "consume";
+      case Opcode::ProduceSync: return "produce.sync";
+      case Opcode::ConsumeSync: return "consume.sync";
+    }
+    panic("unknown opcode");
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Ret;
+}
+
+bool
+isMemoryAccess(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+bool
+isCommunication(Opcode op)
+{
+    return op == Opcode::Produce || op == Opcode::Consume ||
+           op == Opcode::ProduceSync || op == Opcode::ConsumeSync;
+}
+
+bool
+hasDest(Opcode op)
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::Br:
+      case Opcode::Jmp:
+      case Opcode::Ret:
+      case Opcode::Produce:
+      case Opcode::ProduceSync:
+      case Opcode::ConsumeSync:
+        return false;
+      default:
+        return true;
+    }
+}
+
+int
+numSrcs(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const:
+      case Opcode::Jmp:
+      case Opcode::Ret:
+      case Opcode::Consume:
+      case Opcode::ProduceSync:
+      case Opcode::ConsumeSync:
+        return 0;
+      case Opcode::Mov:
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::Abs:
+      case Opcode::Load:
+      case Opcode::Br:
+      case Opcode::Produce:
+        return 1;
+      default:
+        return 2;
+    }
+}
+
+bool
+usesMemoryPort(Opcode op)
+{
+    return isMemoryAccess(op) || isCommunication(op);
+}
+
+} // namespace gmt

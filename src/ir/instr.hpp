@@ -1,0 +1,86 @@
+#ifndef GMT_IR_INSTR_HPP
+#define GMT_IR_INSTR_HPP
+
+/**
+ * @file
+ * One IR instruction and the dense handles used throughout the library.
+ */
+
+#include <cstdint>
+
+#include "ir/opcode.hpp"
+
+namespace gmt
+{
+
+/** Virtual register handle (dense, per function). */
+using Reg = int32_t;
+inline constexpr Reg kNoReg = -1;
+
+/** Instruction handle: index into Function's instruction arena. */
+using InstrId = int32_t;
+inline constexpr InstrId kNoInstr = -1;
+
+/** Basic-block handle: index into Function's block table. */
+using BlockId = int32_t;
+inline constexpr BlockId kNoBlock = -1;
+
+/**
+ * Alias class of a memory access. Two accesses may alias iff their
+ * classes are equal or either is kAliasAny. Workload builders annotate
+ * memory instructions with the class of the abstract object they
+ * touch; this plays the role of the points-to analysis the paper's
+ * compiler uses (see DESIGN.md).
+ */
+using AliasClass = int32_t;
+inline constexpr AliasClass kAliasAny = 0;
+
+/** Queue id in the synchronization array. */
+using QueueId = int32_t;
+inline constexpr QueueId kNoQueue = -1;
+
+/**
+ * One instruction. Plain data; ownership and ordering live in
+ * Function/BasicBlock.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Const;
+    Reg dst = kNoReg;
+    Reg src1 = kNoReg;
+    Reg src2 = kNoReg;
+    int64_t imm = 0;
+
+    /** Alias class for Load/Store; ignored otherwise. */
+    AliasClass alias = kAliasAny;
+
+    /** Queue id for communication opcodes; kNoQueue otherwise. */
+    QueueId queue = kNoQueue;
+
+    /** Owning block; maintained by Function. */
+    BlockId block = kNoBlock;
+
+    /**
+     * For instructions of generated thread code: the InstrId of the
+     * original instruction this one copies/duplicates, or kNoInstr for
+     * inserted communication instructions.
+     */
+    InstrId origin = kNoInstr;
+
+    /**
+     * True for a branch replicated into a thread that does not own it
+     * (inserted to implement a control dependence). Accounted
+     * separately in the dynamic-instruction statistics.
+     */
+    bool duplicated = false;
+
+    bool isTerminator() const { return gmt::isTerminator(op); }
+    bool isMemoryAccess() const { return gmt::isMemoryAccess(op); }
+    bool isCommunication() const { return gmt::isCommunication(op); }
+    bool isBranch() const { return op == Opcode::Br; }
+    bool hasDest() const { return gmt::hasDest(op); }
+};
+
+} // namespace gmt
+
+#endif // GMT_IR_INSTR_HPP

@@ -1,0 +1,92 @@
+#ifndef GMT_IR_OPCODE_HPP
+#define GMT_IR_OPCODE_HPP
+
+/**
+ * @file
+ * Opcodes of the assembly-level IR.
+ *
+ * The paper's algorithms run on VELOCITY's assembly-level intermediate
+ * representation: virtual registers, explicit control flow, loads and
+ * stores, plus the synchronization-array ISA extension
+ * (produce/consume and their memory-synchronizing variants). This enum
+ * is the analogue. Values are 64-bit integers; floating-point kernels
+ * are expressed in fixed point (see DESIGN.md substitutions).
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace gmt
+{
+
+/** Instruction opcode. */
+enum class Opcode : uint8_t {
+    // Data movement / arithmetic (dst, src1 [, src2] [, imm]).
+    Const,  ///< dst = imm
+    Mov,    ///< dst = src1
+    Add,    ///< dst = src1 + src2
+    Sub,    ///< dst = src1 - src2
+    Mul,    ///< dst = src1 * src2
+    Div,    ///< dst = src1 / src2  (src2==0 -> 0, like a guarded div)
+    Rem,    ///< dst = src1 % src2  (src2==0 -> 0)
+    And,    ///< dst = src1 & src2
+    Or,     ///< dst = src1 | src2
+    Xor,    ///< dst = src1 ^ src2
+    Shl,    ///< dst = src1 << (src2 & 63)
+    Shr,    ///< dst = src1 >> (src2 & 63), arithmetic
+    Neg,    ///< dst = -src1
+    Not,    ///< dst = ~src1
+    Min,    ///< dst = min(src1, src2)
+    Max,    ///< dst = max(src1, src2)
+    Abs,    ///< dst = |src1|
+    CmpEq,  ///< dst = (src1 == src2)
+    CmpNe,  ///< dst = (src1 != src2)
+    CmpLt,  ///< dst = (src1 <  src2)
+    CmpLe,  ///< dst = (src1 <= src2)
+    CmpGt,  ///< dst = (src1 >  src2)
+    CmpGe,  ///< dst = (src1 >= src2)
+
+    // Memory (addresses are cell indices into the flat MemoryImage).
+    Load,   ///< dst = mem[src1 + imm]
+    Store,  ///< mem[src1 + imm] = src2
+
+    // Control flow (always the last instruction of a block).
+    Br,     ///< if (src1 != 0) goto succ[0] else succ[1]
+    Jmp,    ///< goto succ[0]
+    Ret,    ///< leave the region; uses the function's live-out set
+
+    // Synchronization-array ISA extension (inserted by MTCG/COCO).
+    Produce,      ///< queue[imm] <- src1 (register communication)
+    Consume,      ///< dst <- queue[imm]
+    ProduceSync,  ///< queue[imm] <- token (memory sync, release)
+    ConsumeSync,  ///< <- queue[imm]        (memory sync, acquire)
+};
+
+/** Printable mnemonic. */
+std::string_view opcodeName(Opcode op);
+
+/** True for Br/Jmp/Ret. */
+bool isTerminator(Opcode op);
+
+/** True for Load/Store. */
+bool isMemoryAccess(Opcode op);
+
+/** True for Produce/Consume/ProduceSync/ConsumeSync. */
+bool isCommunication(Opcode op);
+
+/** True if the opcode writes a destination register. */
+bool hasDest(Opcode op);
+
+/** Number of register sources (not counting Ret's live-out uses). */
+int numSrcs(Opcode op);
+
+/**
+ * True for instructions that occupy an M (memory) issue slot on the
+ * modeled core: loads, stores, and all queue accesses (the paper's
+ * Itanium 2 extension routes produce/consume through the M pipeline).
+ */
+bool usesMemoryPort(Opcode op);
+
+} // namespace gmt
+
+#endif // GMT_IR_OPCODE_HPP

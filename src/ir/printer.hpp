@@ -1,0 +1,28 @@
+#ifndef GMT_IR_PRINTER_HPP
+#define GMT_IR_PRINTER_HPP
+
+/**
+ * @file
+ * Human-readable IR dump, used by examples and test failure output.
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/** Print @p f as text to @p os. */
+void printFunction(const Function &f, std::ostream &os);
+
+/** Convenience: printFunction into a string. */
+std::string functionToString(const Function &f);
+
+/** One-line rendering of a single instruction. */
+std::string instrToString(const Function &f, InstrId i);
+
+} // namespace gmt
+
+#endif // GMT_IR_PRINTER_HPP

@@ -1,0 +1,142 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+std::vector<std::string>
+verifyFunction(const Function &f, const VerifyOptions &opts)
+{
+    std::vector<std::string> problems;
+    auto complain = [&](auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        problems.push_back(os.str());
+    };
+
+    if (f.numBlocks() == 0) {
+        complain("function has no blocks");
+        return problems;
+    }
+    if (f.entry() == kNoBlock || f.entry() >= f.numBlocks()) {
+        complain("invalid entry block");
+        return problems;
+    }
+
+    int ret_blocks = 0;
+    for (BlockId b = 0; b < f.numBlocks(); ++b) {
+        const BasicBlock &bb = f.block(b);
+        if (bb.empty()) {
+            complain("block ", bb.label(), " is empty");
+            continue;
+        }
+        for (size_t pos = 0; pos < bb.size(); ++pos) {
+            InstrId id = bb.instrs()[pos];
+            const Instr &in = f.instr(id);
+            if (in.block != b) {
+                complain("instr i", id, " back-reference wrong block");
+            }
+            bool last = (pos + 1 == bb.size());
+            if (in.isTerminator() != last) {
+                complain("block ", bb.label(), " instr i", id,
+                         last ? ": last instr must be a terminator"
+                              : ": terminator in the middle");
+            }
+            for (Reg r : {in.dst, in.src1, in.src2}) {
+                if (r != kNoReg && (r < 0 || r >= f.numRegs()))
+                    complain("instr i", id, " references bad reg ", r);
+            }
+            if (in.isCommunication()) {
+                if (in.queue == kNoQueue)
+                    complain("instr i", id, " communication without queue");
+            } else if (in.queue != kNoQueue) {
+                complain("instr i", id, " non-communication with queue");
+            }
+        }
+        InstrId term = bb.terminator();
+        const Instr &t = f.instr(term);
+        size_t expect_succs = 0;
+        switch (t.op) {
+          case Opcode::Br:
+            expect_succs = 2;
+            break;
+          case Opcode::Jmp:
+            expect_succs = 1;
+            break;
+          case Opcode::Ret:
+            expect_succs = 0;
+            ++ret_blocks;
+            break;
+          default:
+            break;
+        }
+        if (t.isTerminator() && bb.succs().size() != expect_succs) {
+            complain("block ", bb.label(), " has ", bb.succs().size(),
+                     " successors, terminator wants ", expect_succs);
+        }
+        for (BlockId s : bb.succs()) {
+            if (s < 0 || s >= f.numBlocks()) {
+                complain("block ", bb.label(), " bad successor");
+            } else {
+                const auto &preds = f.block(s).preds();
+                if (std::count(preds.begin(), preds.end(), b) != 1)
+                    complain("edge ", bb.label(), "->", f.block(s).label(),
+                             " not mirrored in preds");
+            }
+        }
+    }
+    if (ret_blocks != 1)
+        complain("function must have exactly one Ret block, has ",
+                 ret_blocks);
+
+    // Reachability from entry.
+    std::vector<bool> seen(f.numBlocks(), false);
+    std::vector<BlockId> stack{f.entry()};
+    seen[f.entry()] = true;
+    while (!stack.empty()) {
+        BlockId b = stack.back();
+        stack.pop_back();
+        for (BlockId s : f.block(b).succs()) {
+            if (s >= 0 && s < f.numBlocks() && !seen[s]) {
+                seen[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    for (BlockId b = 0; b < f.numBlocks(); ++b) {
+        if (!seen[b])
+            complain("block ", f.block(b).label(), " unreachable");
+    }
+
+    for (Reg r : f.params()) {
+        if (r < 0 || r >= f.numRegs())
+            complain("bad param reg ", r);
+    }
+    for (Reg r : f.liveOuts()) {
+        if (r < 0 || r >= f.numRegs())
+            complain("bad live-out reg ", r);
+    }
+    if (!opts.allow_empty_live_outs && f.liveOuts().empty())
+        complain("function declares no live-outs");
+
+    return problems;
+}
+
+void
+verifyOrDie(const Function &f, const VerifyOptions &opts)
+{
+    auto problems = verifyFunction(f, opts);
+    if (!problems.empty()) {
+        std::ostringstream os;
+        os << "IR verification failed for @" << f.name() << ":";
+        for (const auto &p : problems)
+            os << "\n  - " << p;
+        fatal(os.str());
+    }
+}
+
+} // namespace gmt

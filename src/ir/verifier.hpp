@@ -1,0 +1,51 @@
+#ifndef GMT_IR_VERIFIER_HPP
+#define GMT_IR_VERIFIER_HPP
+
+/**
+ * @file
+ * Structural IR verification. Every pipeline stage verifies its input,
+ * and generated thread code is verified again after MTCG.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace gmt
+{
+
+/** What the verifier should require of terminators. */
+struct VerifyOptions
+{
+    /**
+     * Generated thread code may legitimately lack a Ret-with-liveouts
+     * contract (worker threads return nothing); the structural checks
+     * are identical otherwise.
+     */
+    bool allow_empty_live_outs = true;
+};
+
+/**
+ * Check structural invariants of @p f:
+ *  - an entry block exists and every block is reachable from it;
+ *  - every block ends with exactly one terminator and contains no
+ *    terminator elsewhere;
+ *  - successor counts match terminators (Br 2, Jmp 1, Ret 0);
+ *  - pred/succ lists are mutually consistent;
+ *  - exactly one Ret block exists, and it is reachable;
+ *  - every register mentioned is < numRegs(); params/liveOuts valid;
+ *  - instruction block back-references are correct;
+ *  - communication instructions carry a queue id, others do not.
+ *
+ * @return list of human-readable problems; empty means valid.
+ */
+std::vector<std::string> verifyFunction(const Function &f,
+                                        const VerifyOptions &opts = {});
+
+/** Throw FatalError with all problems if verification fails. */
+void verifyOrDie(const Function &f, const VerifyOptions &opts = {});
+
+} // namespace gmt
+
+#endif // GMT_IR_VERIFIER_HPP

@@ -1,0 +1,58 @@
+#include "mtcg/queue_alloc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+QueueAllocation
+allocateQueues(const CommPlan &plan, int max_queues)
+{
+    QueueAllocation alloc;
+    alloc.queue_of.assign(plan.placements.size(), -1);
+
+    // Group placement indices by ordered thread pair.
+    std::map<std::pair<int, int>, std::vector<int>> groups;
+    for (size_t pi = 0; pi < plan.placements.size(); ++pi) {
+        const CommPlacement &pl = plan.placements[pi];
+        groups[{pl.src_thread, pl.dst_thread}].push_back(
+            static_cast<int>(pi));
+    }
+    if (groups.empty())
+        return alloc;
+
+    int num_pairs = static_cast<int>(groups.size());
+    if (max_queues < num_pairs)
+        fatal("queue allocation needs at least ", num_pairs,
+              " queues (one per communicating thread pair), got ",
+              max_queues);
+
+    // Proportional shares, at least one queue per pair.
+    int total_placements = static_cast<int>(plan.placements.size());
+    int next_queue = 0;
+    for (auto &[pair, members] : groups) {
+        int share = static_cast<int>(
+            static_cast<long long>(members.size()) *
+            (max_queues - num_pairs) / std::max(total_placements, 1));
+        int queues = 1 + share;
+        queues = std::min<int>(queues,
+                               static_cast<int>(members.size()));
+        // Round-robin members over this pair's queue range; both
+        // threads derive the same mapping from the plan order, so
+        // produce/consume streams stay aligned.
+        for (size_t k = 0; k < members.size(); ++k) {
+            alloc.queue_of[members[k]] =
+                next_queue + static_cast<int>(k % queues);
+        }
+        next_queue += queues;
+    }
+    alloc.num_queues = next_queue;
+    GMT_ASSERT(alloc.num_queues <= max_queues);
+    return alloc;
+}
+
+} // namespace gmt

@@ -1,0 +1,56 @@
+#include "partition/dswp.hpp"
+
+#include <vector>
+
+#include "graph/scc.hpp"
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+ThreadPartition
+dswpPartition(const Pdg &pdg, const EdgeProfile &profile,
+              const DswpOptions &opts)
+{
+    const Function &f = pdg.func();
+    GMT_ASSERT(opts.num_threads >= 1);
+
+    // SCCs of the PDG; component ids are already topologically
+    // ordered, so assigning non-decreasing stages in id order keeps
+    // every dependence flowing forward.
+    Digraph g = pdg.asDigraph();
+    SccResult sccs = computeSccs(g);
+
+    // Profile-weighted cost per component.
+    std::vector<uint64_t> comp_weight(sccs.numComponents(), 0);
+    uint64_t total = 0;
+    for (InstrId i = 0; i < f.numInstrs(); ++i) {
+        uint64_t w = profile.blockWeight(f.instr(i).block);
+        comp_weight[sccs.component[i]] += w;
+        total += w;
+    }
+
+    // Greedy pipeline fill: move to the next stage when the current
+    // one reaches its share of the total weight.
+    std::vector<int> stage_of_comp(sccs.numComponents(), 0);
+    uint64_t target = total / opts.num_threads + 1;
+    int stage = 0;
+    uint64_t acc = 0;
+    for (int c = 0; c < sccs.numComponents(); ++c) {
+        stage_of_comp[c] = stage;
+        acc += comp_weight[c];
+        if (acc >= target && stage + 1 < opts.num_threads) {
+            ++stage;
+            acc = 0;
+        }
+    }
+
+    ThreadPartition p;
+    p.num_threads = opts.num_threads;
+    p.assign.resize(f.numInstrs());
+    for (InstrId i = 0; i < f.numInstrs(); ++i)
+        p.assign[i] = stage_of_comp[sccs.component[i]];
+    return p;
+}
+
+} // namespace gmt

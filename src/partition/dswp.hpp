@@ -1,0 +1,36 @@
+#ifndef GMT_PARTITION_DSWP_HPP
+#define GMT_PARTITION_DSWP_HPP
+
+/**
+ * @file
+ * Decoupled Software Pipelining partitioner [16].
+ *
+ * DSWP groups the PDG's strongly connected components — which must
+ * stay on one thread, since a split SCC would create a cross-thread
+ * dependence cycle — and assigns them to a pipeline of threads such
+ * that every dependence flows from an earlier to a later stage. Stage
+ * loads are balanced on profile-weighted instruction cost.
+ */
+
+#include "analysis/edge_profile.hpp"
+#include "partition/partition.hpp"
+
+namespace gmt
+{
+
+/** DSWP knobs. */
+struct DswpOptions
+{
+    int num_threads = 2;
+};
+
+/**
+ * Partition @p pdg into a pipeline. Guaranteed to satisfy the
+ * pipeline invariant (validatePartition with require_pipeline).
+ */
+ThreadPartition dswpPartition(const Pdg &pdg, const EdgeProfile &profile,
+                              const DswpOptions &opts = {});
+
+} // namespace gmt
+
+#endif // GMT_PARTITION_DSWP_HPP

@@ -1,0 +1,47 @@
+#ifndef GMT_PARTITION_GREMIO_HPP
+#define GMT_PARTITION_GREMIO_HPP
+
+/**
+ * @file
+ * GREMIO partitioner [15] (Global REsource-constrained Multi-threaded
+ * Instruction scheduling Orchestrator).
+ *
+ * Unlike DSWP, GREMIO permits cyclic inter-thread dependences. It
+ * performs list scheduling over the PDG guided by each instruction's
+ * estimated ready time: every instruction is placed on the thread
+ * where it can start earliest, where a cross-thread operand adds the
+ * communication latency, with a load-balance tie-break. Instructions
+ * are considered in control-relation order (program order of a
+ * reverse-postorder block walk), mirroring the paper's description of
+ * scheduling "based on their control relations and an estimate of
+ * when instructions will be ready to execute".
+ */
+
+#include "analysis/edge_profile.hpp"
+#include "partition/partition.hpp"
+
+namespace gmt
+{
+
+/** GREMIO knobs. */
+struct GremioOptions
+{
+    int num_threads = 2;
+
+    /** Estimated produce->consume latency in cycles. */
+    int comm_latency = 2;
+
+    /** Latency charged per ALU instruction. */
+    int alu_latency = 1;
+
+    /** Latency charged per memory access. */
+    int mem_latency = 2;
+};
+
+/** Partition @p pdg by ready-time list scheduling. */
+ThreadPartition gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
+                                const GremioOptions &opts = {});
+
+} // namespace gmt
+
+#endif // GMT_PARTITION_GREMIO_HPP

@@ -1,0 +1,59 @@
+#ifndef GMT_PARTITION_PARTITION_HPP
+#define GMT_PARTITION_PARTITION_HPP
+
+/**
+ * @file
+ * A thread partition: the assignment of every instruction to a thread.
+ * This is the interface between the pluggable partitioners (DSWP,
+ * GREMIO, or anything else) and MTCG/COCO — exactly the P input of
+ * Algorithms 1 and 2 in the paper.
+ */
+
+#include <string>
+#include <vector>
+
+#include "pdg/pdg.hpp"
+
+namespace gmt
+{
+
+/** Assignment of instructions to threads. */
+struct ThreadPartition
+{
+    int num_threads = 1;
+
+    /** assign[InstrId] = thread index in [0, num_threads). */
+    std::vector<int> assign;
+
+    int
+    threadOf(InstrId i) const
+    {
+        return assign[i];
+    }
+
+    /** Instructions assigned to thread @p t, ascending. */
+    std::vector<InstrId> membersOf(int t) const;
+};
+
+/** Everything-in-thread-0 partition (sanity baseline). */
+ThreadPartition singleThreadPartition(const Function &f);
+
+/**
+ * Check a partition: every instruction assigned to a valid thread.
+ * With @p require_pipeline, additionally check the DSWP invariant
+ * that every PDG arc flows to an equal-or-later thread.
+ * @return problems (empty = valid).
+ */
+std::vector<std::string> validatePartition(const Pdg &pdg,
+                                           const ThreadPartition &p,
+                                           bool require_pipeline);
+
+/**
+ * Count inter-thread PDG arcs under @p p — a quick static measure of
+ * how much communication a partition implies.
+ */
+int countCrossThreadArcs(const Pdg &pdg, const ThreadPartition &p);
+
+} // namespace gmt
+
+#endif // GMT_PARTITION_PARTITION_HPP

@@ -1,0 +1,38 @@
+#include "pdg/pdg.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+Pdg::Pdg(const Function &f) : func_(&f)
+{
+    from_.resize(f.numInstrs());
+    to_.resize(f.numInstrs());
+}
+
+void
+Pdg::addArc(PdgArc arc)
+{
+    GMT_ASSERT(arc.src != kNoInstr && arc.dst != kNoInstr);
+    for (int a : from_[arc.src]) {
+        const PdgArc &e = arcs_[a];
+        if (e.dst == arc.dst && e.kind == arc.kind && e.reg == arc.reg)
+            return; // duplicate
+    }
+    int id = static_cast<int>(arcs_.size());
+    arcs_.push_back(arc);
+    from_[arc.src].push_back(id);
+    to_[arc.dst].push_back(id);
+}
+
+Digraph
+Pdg::asDigraph() const
+{
+    Digraph g(func_->numInstrs());
+    for (const auto &arc : arcs_)
+        g.addEdge(arc.src, arc.dst);
+    return g;
+}
+
+} // namespace gmt

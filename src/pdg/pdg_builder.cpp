@@ -1,0 +1,144 @@
+#include "pdg/pdg_builder.hpp"
+
+#include <vector>
+
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/mem_dep.hpp"
+#include "support/bit_vector.hpp"
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/** Register flow arcs via iterative reaching definitions. */
+void
+addRegisterArcs(const Function &f, Pdg &pdg)
+{
+    // Enumerate definition sites.
+    std::vector<InstrId> def_sites;
+    std::vector<int> site_of(f.numInstrs(), -1);
+    for (InstrId i = 0; i < f.numInstrs(); ++i) {
+        if (f.defOf(i) != kNoReg) {
+            site_of[i] = static_cast<int>(def_sites.size());
+            def_sites.push_back(i);
+        }
+    }
+    const int nd = static_cast<int>(def_sites.size());
+    const int nb = f.numBlocks();
+
+    // Per-register site lists, for KILL sets.
+    std::vector<std::vector<int>> sites_of_reg(f.numRegs());
+    for (int s = 0; s < nd; ++s)
+        sites_of_reg[f.defOf(def_sites[s])].push_back(s);
+
+    // Block-level GEN/KILL.
+    std::vector<BitVector> gen(nb, BitVector(nd));
+    std::vector<BitVector> kill(nb, BitVector(nd));
+    for (BlockId b = 0; b < nb; ++b) {
+        for (InstrId i : f.block(b).instrs()) {
+            Reg def = f.defOf(i);
+            if (def == kNoReg)
+                continue;
+            for (int s : sites_of_reg[def]) {
+                gen[b].reset(s);
+                kill[b].set(s);
+            }
+            gen[b].set(site_of[i]);
+        }
+    }
+
+    // Forward union fixpoint.
+    std::vector<BitVector> in(nb, BitVector(nd));
+    std::vector<BitVector> out(nb, BitVector(nd));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = 0; b < nb; ++b) {
+            BitVector new_in(nd);
+            for (BlockId p : f.block(b).preds())
+                new_in.unionWith(out[p]);
+            BitVector new_out = new_in;
+            new_out.subtract(kill[b]);
+            new_out.unionWith(gen[b]);
+            if (!(new_in == in[b])) {
+                in[b] = std::move(new_in);
+                changed = true;
+            }
+            if (!(new_out == out[b])) {
+                out[b] = std::move(new_out);
+                changed = true;
+            }
+        }
+    }
+
+    // Attach def -> use arcs by walking each block.
+    for (BlockId b = 0; b < nb; ++b) {
+        BitVector reaching = in[b];
+        for (InstrId i : f.block(b).instrs()) {
+            for (Reg use : f.usesOf(i)) {
+                reaching.forEach([&](size_t s) {
+                    InstrId def_instr = def_sites[s];
+                    if (f.defOf(def_instr) == use) {
+                        pdg.addArc({def_instr, i, DepKind::Register, use,
+                                    MemDepKind::Flow});
+                    }
+                });
+            }
+            Reg def = f.defOf(i);
+            if (def != kNoReg) {
+                for (int s : sites_of_reg[def])
+                    reaching.reset(s);
+                reaching.set(site_of[i]);
+            }
+        }
+    }
+}
+
+void
+addMemoryArcs(const Function &f, Pdg &pdg)
+{
+    for (const MemDep &dep : computeMemDeps(f)) {
+        pdg.addArc({dep.src, dep.dst, DepKind::Memory, kNoReg,
+                    dep.kind});
+    }
+}
+
+void
+addControlArcs(const Function &f, Pdg &pdg)
+{
+    auto pdom = DominatorTree::postDominators(f);
+    ControlDependence cd(f, pdom);
+    for (BlockId a = 0; a < f.numBlocks(); ++a) {
+        const BasicBlock &bb = f.block(a);
+        if (bb.succs().size() < 2)
+            continue;
+        InstrId branch = bb.terminator();
+        GMT_ASSERT(f.instr(branch).isBranch());
+        for (BlockId c : cd.controlledBy(a)) {
+            for (InstrId i : f.block(c).instrs()) {
+                if (i != branch) {
+                    pdg.addArc({branch, i, DepKind::Control, kNoReg,
+                                MemDepKind::Flow});
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Pdg
+buildPdg(const Function &f)
+{
+    Pdg pdg(f);
+    addRegisterArcs(f, pdg);
+    addMemoryArcs(f, pdg);
+    addControlArcs(f, pdg);
+    return pdg;
+}
+
+} // namespace gmt

@@ -1,0 +1,62 @@
+#ifndef GMT_RUNTIME_INTERPRETER_HPP
+#define GMT_RUNTIME_INTERPRETER_HPP
+
+/**
+ * @file
+ * Functional single-threaded interpreter. It is (a) the semantic
+ * reference every multi-threaded execution is checked against, and
+ * (b) the profiler: it counts every CFG edge's execution frequency,
+ * which becomes the arc costs of COCO's min-cut graphs (the paper
+ * profiles on "train" inputs and evaluates on "reference" inputs).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "runtime/memory_image.hpp"
+
+namespace gmt
+{
+
+/** Per-edge execution counts collected while interpreting. */
+struct ProfileData
+{
+    /** counts[block][succ_slot] = times the edge was taken. */
+    std::vector<std::vector<uint64_t>> edge_counts;
+
+    /** block_counts[block] = times the block was entered. */
+    std::vector<uint64_t> block_counts;
+
+    uint64_t edgeCount(BlockId from, int succ_slot) const;
+};
+
+/** Result of a single-threaded run. */
+struct StRunResult
+{
+    /** Values of the function's live-out registers at Ret. */
+    std::vector<int64_t> live_outs;
+
+    /** Dynamic instructions executed (all are "computation" here). */
+    uint64_t dyn_instrs = 0;
+
+    ProfileData profile;
+};
+
+/** Evaluate a non-control, non-memory, non-queue opcode. */
+int64_t evalAlu(Opcode op, int64_t a, int64_t b, int64_t imm);
+
+/**
+ * Execute @p f to completion.
+ *
+ * @param f       verified IR function.
+ * @param args    one value per f.params() register.
+ * @param mem     data memory, mutated in place.
+ * @param max_steps safety fuel; exceeding it raises FatalError.
+ */
+StRunResult interpret(const Function &f, const std::vector<int64_t> &args,
+                      MemoryImage &mem, uint64_t max_steps = 500'000'000);
+
+} // namespace gmt
+
+#endif // GMT_RUNTIME_INTERPRETER_HPP

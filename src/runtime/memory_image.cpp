@@ -1,0 +1,33 @@
+#include "runtime/memory_image.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+int64_t
+MemoryImage::alloc(int64_t cells)
+{
+    GMT_ASSERT(cells >= 0);
+    int64_t base = size();
+    cells_.resize(cells_.size() + static_cast<size_t>(cells), 0);
+    return base;
+}
+
+int64_t
+MemoryImage::read(int64_t addr) const
+{
+    if (addr < 0 || addr >= size())
+        fatal("memory read out of bounds: addr=", addr, " size=", size());
+    return cells_[static_cast<size_t>(addr)];
+}
+
+void
+MemoryImage::write(int64_t addr, int64_t value)
+{
+    if (addr < 0 || addr >= size())
+        fatal("memory write out of bounds: addr=", addr, " size=", size());
+    cells_[static_cast<size_t>(addr)] = value;
+}
+
+} // namespace gmt

@@ -1,0 +1,43 @@
+#ifndef GMT_RUNTIME_MEMORY_IMAGE_HPP
+#define GMT_RUNTIME_MEMORY_IMAGE_HPP
+
+/**
+ * @file
+ * The flat data memory both interpreters execute against. Addresses
+ * are cell indices (one cell = one int64). Workloads allocate named
+ * regions and fill them with inputs; the equivalence oracle compares
+ * whole images after execution.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmt
+{
+
+/** Flat 64-bit-cell memory with bump allocation. */
+class MemoryImage
+{
+  public:
+    MemoryImage() = default;
+
+    /** Allocate @p cells zero-initialized cells. @return base address. */
+    int64_t alloc(int64_t cells);
+
+    int64_t read(int64_t addr) const;
+    void write(int64_t addr, int64_t value);
+
+    int64_t size() const { return static_cast<int64_t>(cells_.size()); }
+
+    const std::vector<int64_t> &cells() const { return cells_; }
+
+    bool operator==(const MemoryImage &) const = default;
+
+  private:
+    std::vector<int64_t> cells_;
+};
+
+} // namespace gmt
+
+#endif // GMT_RUNTIME_MEMORY_IMAGE_HPP

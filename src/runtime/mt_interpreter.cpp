@@ -1,0 +1,230 @@
+#include "runtime/mt_interpreter.hpp"
+
+#include "runtime/interpreter.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+uint64_t
+MtRunResult::totalDynamicInstrs() const
+{
+    uint64_t n = 0;
+    for (const auto &s : stats)
+        n += s.total();
+    return n;
+}
+
+uint64_t
+MtRunResult::totalCommunication() const
+{
+    uint64_t n = 0;
+    for (const auto &s : stats)
+        n += s.communication();
+    return n;
+}
+
+namespace
+{
+
+/** Execution state of one thread. */
+struct ThreadState
+{
+    std::vector<int64_t> regs;
+    BlockId block = kNoBlock;
+    int pos = 0;
+    bool done = false;
+    bool blocked = false; // blocked on queue since last progress
+};
+
+} // namespace
+
+MtRunResult
+interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
+            MemoryImage &mem, SchedulePolicy policy, uint64_t seed,
+            uint64_t max_steps)
+{
+    const int num_threads = static_cast<int>(prog.threads.size());
+    GMT_ASSERT(num_threads > 0);
+
+    MtRunResult result;
+    result.stats.assign(num_threads, {});
+
+    SyncArray queues(std::max(prog.num_queues, 1), prog.queue_capacity);
+    Rng rng(seed ^ 0x5deece66dULL);
+
+    std::vector<ThreadState> threads(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+        const Function &f = prog.threads[t];
+        threads[t].regs.assign(f.numRegs(), 0);
+        // Live-ins are broadcast: every thread starts from the same
+        // initial context, as with real thread-spawn semantics.
+        if (args.size() != f.params().size())
+            fatal("interpretMt: thread ", t, " expects ",
+                  f.params().size(), " args, got ", args.size());
+        for (size_t i = 0; i < args.size(); ++i)
+            threads[t].regs[f.params()[i]] = args[i];
+        threads[t].block = f.entry();
+    }
+
+    int live = num_threads;
+    uint64_t steps = 0;
+
+    auto allBlockedOrDone = [&] {
+        for (const auto &ts : threads) {
+            if (!ts.done && !ts.blocked)
+                return false;
+        }
+        return true;
+    };
+
+    int rr_next = 0;
+    while (live > 0) {
+        if (allBlockedOrDone()) {
+            result.deadlock = true;
+            break;
+        }
+        // Pick a runnable thread.
+        int t = -1;
+        if (policy == SchedulePolicy::RoundRobin) {
+            for (int k = 0; k < num_threads; ++k) {
+                int cand = (rr_next + k) % num_threads;
+                if (!threads[cand].done && !threads[cand].blocked) {
+                    t = cand;
+                    rr_next = (cand + 1) % num_threads;
+                    break;
+                }
+            }
+        } else {
+            // Uniform among runnable threads.
+            int runnable = 0;
+            for (const auto &ts : threads)
+                runnable += (!ts.done && !ts.blocked);
+            uint64_t pick = rng.nextBelow(runnable);
+            for (int cand = 0; cand < num_threads; ++cand) {
+                if (!threads[cand].done && !threads[cand].blocked &&
+                    pick-- == 0) {
+                    t = cand;
+                    break;
+                }
+            }
+        }
+        GMT_ASSERT(t >= 0);
+
+        if (++steps > max_steps)
+            fatal("interpretMt: step limit exceeded");
+
+        ThreadState &ts = threads[t];
+        const Function &f = prog.threads[t];
+        const BasicBlock &bb = f.block(ts.block);
+        const Instr &in = f.instr(bb.instrs()[ts.pos]);
+        ThreadStats &st = result.stats[t];
+
+        auto unblockAll = [&] {
+            // A queue transition may unblock peers; recheck lazily.
+            for (auto &other : threads)
+                other.blocked = false;
+        };
+
+        bool advanced = true;
+        int next_slot = -1;
+        switch (in.op) {
+          case Opcode::Produce:
+            if (queues.produce(in.queue, ts.regs[in.src1])) {
+                ++st.produces;
+                unblockAll();
+            } else {
+                ts.blocked = true;
+                advanced = false;
+            }
+            break;
+          case Opcode::ProduceSync:
+            if (queues.produce(in.queue, 1)) {
+                ++st.produce_syncs;
+                unblockAll();
+            } else {
+                ts.blocked = true;
+                advanced = false;
+            }
+            break;
+          case Opcode::Consume: {
+            int64_t v;
+            if (queues.consume(in.queue, v)) {
+                ts.regs[in.dst] = v;
+                ++st.consumes;
+                unblockAll();
+            } else {
+                ts.blocked = true;
+                advanced = false;
+            }
+            break;
+          }
+          case Opcode::ConsumeSync: {
+            int64_t v;
+            if (queues.consume(in.queue, v)) {
+                ++st.consume_syncs;
+                unblockAll();
+            } else {
+                ts.blocked = true;
+                advanced = false;
+            }
+            break;
+          }
+          case Opcode::Load:
+            ts.regs[in.dst] = mem.read(ts.regs[in.src1] + in.imm);
+            ++st.computation;
+            break;
+          case Opcode::Store:
+            mem.write(ts.regs[in.src1] + in.imm, ts.regs[in.src2]);
+            ++st.computation;
+            break;
+          case Opcode::Br:
+            next_slot = (ts.regs[in.src1] != 0) ? 0 : 1;
+            if (in.duplicated)
+                ++st.duplicated_branches;
+            else
+                ++st.computation;
+            break;
+          case Opcode::Jmp:
+            // Free pseudo-op: real code generation lays blocks out to
+            // fall through; counting explicit jumps would charge the
+            // block *structure* of a thread as computation.
+            next_slot = 0;
+            break;
+          case Opcode::Ret:
+            ts.done = true;
+            --live;
+            ++st.computation;
+            // The thread owning the original Ret declares the
+            // live-outs; worker threads declare none.
+            for (Reg r : f.liveOuts())
+                result.live_outs.push_back(ts.regs[r]);
+            break;
+          default:
+            ts.regs[in.dst] =
+                evalAlu(in.op, in.src1 != kNoReg ? ts.regs[in.src1] : 0,
+                        in.src2 != kNoReg ? ts.regs[in.src2] : 0, in.imm);
+            ++st.computation;
+            break;
+        }
+
+        if (ts.done)
+            continue;
+        if (!advanced)
+            continue;
+        if (next_slot >= 0) {
+            ts.block = bb.succs()[next_slot];
+            ts.pos = 0;
+        } else {
+            ++ts.pos;
+            GMT_ASSERT(ts.pos < static_cast<int>(bb.size()),
+                       "fell off block without terminator");
+        }
+    }
+
+    result.queues_drained = queues.allDrained();
+    return result;
+}
+
+} // namespace gmt

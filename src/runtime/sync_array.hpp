@@ -1,0 +1,58 @@
+#ifndef GMT_RUNTIME_SYNC_ARRAY_HPP
+#define GMT_RUNTIME_SYNC_ARRAY_HPP
+
+/**
+ * @file
+ * Functional model of the synchronization array [19]: a set of
+ * fixed-depth blocking queues addressed by produce/consume. This class
+ * models only values and occupancy; timing lives in sim/.
+ *
+ * The paper's configuration: 256 queues of a single element for
+ * GREMIO, 32-element queues for DSWP's pipeline decoupling.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace gmt
+{
+
+/** Blocking-queue array; produce/consume return false when blocked. */
+class SyncArray
+{
+  public:
+    /**
+     * @param num_queues number of independent queues.
+     * @param capacity   per-queue element capacity (>= 1).
+     */
+    SyncArray(int num_queues, int capacity);
+
+    int numQueues() const { return static_cast<int>(queues_.size()); }
+    int capacity() const { return capacity_; }
+
+    /** Try to enqueue; @return false if the queue is full. */
+    bool produce(int queue, int64_t value);
+
+    /** Try to dequeue into @p out; @return false if empty. */
+    bool consume(int queue, int64_t &out);
+
+    bool full(int queue) const;
+    bool empty(int queue) const;
+    int occupancy(int queue) const;
+
+    /** True if every queue is empty (deadlock-freedom postcondition). */
+    bool allDrained() const;
+
+    /** Total produce operations accepted (for stats). */
+    uint64_t totalProduced() const { return total_produced_; }
+
+  private:
+    std::vector<std::deque<int64_t>> queues_;
+    int capacity_;
+    uint64_t total_produced_ = 0;
+};
+
+} // namespace gmt
+
+#endif // GMT_RUNTIME_SYNC_ARRAY_HPP

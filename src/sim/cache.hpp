@@ -1,0 +1,91 @@
+#ifndef GMT_SIM_CACHE_HPP
+#define GMT_SIM_CACHE_HPP
+
+/**
+ * @file
+ * Set-associative LRU cache model and the per-core hierarchy of
+ * Figure 6(a): private L1D and L2, shared L3, main memory, with a
+ * snoop-based write-invalidate protocol between the cores' private
+ * levels. Timing only — data values live in the functional
+ * MemoryImage; the model returns access latencies.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+
+namespace gmt
+{
+
+/** One set-associative LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr (byte address). On a hit the line's LRU state
+     * is refreshed. @return hit?
+     */
+    bool lookup(uint64_t addr);
+
+    /** Install the line holding @p addr (evicts LRU). */
+    void fill(uint64_t addr);
+
+    /** Invalidate the line holding @p addr if present. */
+    void invalidate(uint64_t addr);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    int hitLatency() const { return config_.hit_latency; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        uint64_t lru = 0; ///< last-touch stamp
+    };
+
+    uint64_t lineOf(uint64_t addr) const;
+    int setOf(uint64_t line) const;
+
+    CacheConfig config_;
+    int num_sets_;
+    std::vector<Line> lines_; ///< num_sets_ x associativity
+    uint64_t stamp_ = 0;
+    uint64_t hits_ = 0, misses_ = 0;
+};
+
+/** Per-core private levels over a shared L3 with write-invalidate. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const MachineConfig &config, int num_cores);
+
+    /** Latency of a load of cell index @p cell by core @p core. */
+    int loadLatency(int core, int64_t cell);
+
+    /**
+     * Latency of a store (write-through L1, write-back below;
+     * modeled as the fill latency of the owning level) plus snoop
+     * invalidation of the other cores' private lines.
+     */
+    int storeLatency(int core, int64_t cell);
+
+    const Cache &l1(int core) const { return l1_[core]; }
+    const Cache &l2(int core) const { return l2_[core]; }
+    const Cache &l3() const { return l3_; }
+
+  private:
+    int accessLatency(int core, int64_t cell, bool is_store);
+
+    MachineConfig config_;
+    std::vector<Cache> l1_, l2_;
+    Cache l3_;
+};
+
+} // namespace gmt
+
+#endif // GMT_SIM_CACHE_HPP

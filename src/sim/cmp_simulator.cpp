@@ -1,0 +1,268 @@
+#include "sim/cmp_simulator.hpp"
+
+#include <algorithm>
+
+#include "runtime/interpreter.hpp"
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/** In-flight architectural state of one core. */
+struct CoreState
+{
+    const Function *f = nullptr;
+    std::vector<int64_t> regs;
+    std::vector<uint64_t> reg_ready; ///< cycle the value is usable
+    BlockId block = kNoBlock;
+    int pos = 0;
+    bool done = false;
+};
+
+int
+latencyOf(const MachineConfig &cfg, Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+        return cfg.mul_latency;
+      case Opcode::Div:
+      case Opcode::Rem:
+        return cfg.div_latency;
+      default:
+        return cfg.alu_latency;
+    }
+}
+
+} // namespace
+
+CmpSimulator::CmpSimulator(const MachineConfig &config)
+    : config_(config)
+{
+}
+
+SimResult
+CmpSimulator::run(const MtProgram &prog,
+                  const std::vector<int64_t> &args, MemoryImage &mem)
+{
+    const int nc = static_cast<int>(prog.threads.size());
+    GMT_ASSERT(nc >= 1);
+    if (nc > config_.num_cores)
+        fatal("program has ", nc, " threads but the machine has ",
+              config_.num_cores, " cores");
+
+    MachineConfig cfg = config_;
+    cfg.queue_capacity = prog.queue_capacity;
+    // A real compiler multiplexes queues through a queue allocator
+    // (paper footnote 1); the model grows the array when a plan uses
+    // more than the architected 256.
+    cfg.sa_queues = std::max(cfg.sa_queues, prog.num_queues);
+
+    MemoryHierarchy hierarchy(cfg, nc);
+    SyncArrayTiming sa(cfg);
+
+    SimResult result;
+    result.core.assign(nc, {});
+
+    std::vector<CoreState> cores(nc);
+    for (int c = 0; c < nc; ++c) {
+        const Function &f = prog.threads[c];
+        cores[c].f = &f;
+        cores[c].regs.assign(f.numRegs(), 0);
+        cores[c].reg_ready.assign(f.numRegs(), 0);
+        GMT_ASSERT(args.size() == f.params().size());
+        for (size_t i = 0; i < args.size(); ++i)
+            cores[c].regs[f.params()[i]] = args[i];
+        cores[c].block = f.entry();
+    }
+
+    uint64_t now = 0;
+    uint64_t last_progress = 0;
+    int live = nc;
+
+    while (live > 0) {
+        sa.beginCycle();
+        bool progressed = false;
+
+        for (int c = 0; c < nc; ++c) {
+            CoreState &cs = cores[c];
+            CoreStats &st = result.core[c];
+            if (cs.done) {
+                ++st.idle_done;
+                continue;
+            }
+            const Function &f = *cs.f;
+            int issued = 0;
+            int mem_issued = 0;
+            int free_ops = 0; // Jmp pseudo-ops retired this cycle
+            bool stalled = false;
+
+            while (!cs.done && !stalled &&
+                   issued < cfg.issue_width && free_ops < 64) {
+                const BasicBlock &bb = f.block(cs.block);
+                const Instr &in = f.instr(bb.instrs()[cs.pos]);
+
+                // Scoreboard: stall-on-use.
+                uint64_t ready = 0;
+                int nsrc = numSrcs(in.op);
+                if (nsrc >= 1 && in.src1 != kNoReg)
+                    ready = std::max(ready, cs.reg_ready[in.src1]);
+                if (nsrc >= 2 && in.src2 != kNoReg)
+                    ready = std::max(ready, cs.reg_ready[in.src2]);
+                if (in.op == Opcode::Ret) {
+                    for (Reg r : f.liveOuts())
+                        ready = std::max(ready, cs.reg_ready[r]);
+                }
+                if (ready > now) {
+                    if (issued == 0)
+                        ++st.stall_operand;
+                    break;
+                }
+
+                bool needs_mem_port = usesMemoryPort(in.op);
+                if (needs_mem_port && mem_issued >= cfg.mem_ports) {
+                    if (issued == 0)
+                        ++st.stall_mem_port;
+                    break;
+                }
+
+                int next_slot = -1;
+                switch (in.op) {
+                  case Opcode::Load: {
+                    int64_t addr = cs.regs[in.src1] + in.imm;
+                    int lat = hierarchy.loadLatency(c, addr);
+                    cs.regs[in.dst] = mem.read(addr);
+                    cs.reg_ready[in.dst] = now + lat;
+                    break;
+                  }
+                  case Opcode::Store: {
+                    int64_t addr = cs.regs[in.src1] + in.imm;
+                    hierarchy.storeLatency(c, addr);
+                    mem.write(addr, cs.regs[in.src2]);
+                    break;
+                  }
+                  case Opcode::Produce:
+                  case Opcode::ProduceSync: {
+                    if (!sa.canProduce(in.queue)) {
+                        ++st.stall_queue_full;
+                        stalled = true;
+                        continue;
+                    }
+                    if (!sa.portAvailable()) {
+                        ++st.stall_sa_port;
+                        sa.notePortConflict();
+                        stalled = true;
+                        continue;
+                    }
+                    int64_t v = in.op == Opcode::Produce
+                                    ? cs.regs[in.src1]
+                                    : 1;
+                    sa.produce(in.queue, v);
+                    ++st.comm_instrs;
+                    break;
+                  }
+                  case Opcode::Consume:
+                  case Opcode::ConsumeSync: {
+                    if (!sa.canConsume(in.queue)) {
+                        ++st.stall_queue_empty;
+                        stalled = true;
+                        continue;
+                    }
+                    if (!sa.portAvailable()) {
+                        ++st.stall_sa_port;
+                        sa.notePortConflict();
+                        stalled = true;
+                        continue;
+                    }
+                    int64_t v = sa.consume(in.queue);
+                    if (in.op == Opcode::Consume) {
+                        cs.regs[in.dst] = v;
+                        cs.reg_ready[in.dst] = now + sa.latency();
+                    }
+                    ++st.comm_instrs;
+                    break;
+                  }
+                  case Opcode::Br:
+                    next_slot = (cs.regs[in.src1] != 0) ? 0 : 1;
+                    break;
+                  case Opcode::Jmp:
+                    // Free pseudo-op (fall-through after layout): no
+                    // issue slot, no instruction count.
+                    cs.block = f.block(cs.block).succs()[0];
+                    cs.pos = 0;
+                    ++free_ops;
+                    progressed = true;
+                    continue;
+                  case Opcode::Ret:
+                    cs.done = true;
+                    --live;
+                    for (Reg r : f.liveOuts())
+                        result.live_outs.push_back(cs.regs[r]);
+                    break;
+                  default: {
+                    int64_t a =
+                        in.src1 != kNoReg ? cs.regs[in.src1] : 0;
+                    int64_t b =
+                        in.src2 != kNoReg ? cs.regs[in.src2] : 0;
+                    cs.regs[in.dst] = evalAlu(in.op, a, b, in.imm);
+                    cs.reg_ready[in.dst] =
+                        now + latencyOf(cfg, in.op);
+                    break;
+                  }
+                }
+
+                ++issued;
+                if (needs_mem_port)
+                    ++mem_issued;
+                ++st.instrs;
+                progressed = true;
+                if (cs.done)
+                    break;
+                if (next_slot >= 0) {
+                    cs.block = f.block(cs.block).succs()[next_slot];
+                    cs.pos = 0;
+                } else {
+                    ++cs.pos;
+                }
+            }
+        }
+
+        if (progressed)
+            last_progress = now;
+        if (now - last_progress > 100000)
+            fatal("timing simulator wedged (deadlock in generated "
+                  "code?) at cycle ",
+                  now);
+        ++now;
+    }
+
+    result.cycles = now;
+    result.queues_drained = sa.allDrained();
+    result.sa_port_conflicts = sa.portConflicts();
+    for (int c = 0; c < nc; ++c) {
+        result.l1_hits += hierarchy.l1(c).hits();
+        result.l1_misses += hierarchy.l1(c).misses();
+        result.l2_hits += hierarchy.l2(c).hits();
+        result.l2_misses += hierarchy.l2(c).misses();
+    }
+    result.l3_hits = hierarchy.l3().hits();
+    result.l3_misses = hierarchy.l3().misses();
+    return result;
+}
+
+SimResult
+simulateSingleThreaded(const Function &f,
+                       const std::vector<int64_t> &args,
+                       MemoryImage &mem, const MachineConfig &config)
+{
+    MtProgram prog;
+    prog.threads.push_back(f); // copy
+    prog.num_queues = 0;
+    prog.queue_capacity = config.queue_capacity;
+    CmpSimulator sim(config);
+    return sim.run(prog, args, mem);
+}
+
+} // namespace gmt

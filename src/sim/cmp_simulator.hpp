@@ -1,0 +1,98 @@
+#ifndef GMT_SIM_CMP_SIMULATOR_HPP
+#define GMT_SIM_CMP_SIMULATOR_HPP
+
+/**
+ * @file
+ * Cycle-stepped CMP timing simulator: in-order multi-issue cores with
+ * the Figure 6(a) memory hierarchy and synchronization array. It
+ * executes an MtProgram functionally while charging cycles, so its
+ * results double as a third execution oracle (interpreter, MT
+ * interpreter, timing simulator must agree).
+ *
+ * Model summary (substitutions documented in DESIGN.md):
+ *  - in-order issue of up to issue_width instructions/cycle, at most
+ *    mem_ports of which may be loads/stores/queue accesses (the
+ *    Itanium 2 M-slot constraint the paper highlights);
+ *  - scoreboarded stall-on-use: an instruction issues only when its
+ *    source registers are ready;
+ *  - perfect branch prediction (the paper's cores are validated
+ *    Itanium 2 models; control costs appear through replicated
+ *    branches and their operand communication, which is what COCO
+ *    optimizes);
+ *  - produce writes the queue at issue (commit and issue coincide in
+ *    order), consume's value is usable after sa_latency cycles —
+ *    back-to-back execution when the queue is non-empty;
+ *  - a produce to a full queue or consume from an empty queue stalls
+ *    the core; the sync array's request ports are shared per cycle.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/memory_image.hpp"
+#include "runtime/mt_interpreter.hpp"
+#include "sim/cache.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/sync_array_timing.hpp"
+
+namespace gmt
+{
+
+/** Per-core cycle accounting. */
+struct CoreStats
+{
+    uint64_t instrs = 0;
+    uint64_t comm_instrs = 0;
+    uint64_t stall_operand = 0;
+    uint64_t stall_queue_full = 0;
+    uint64_t stall_queue_empty = 0;
+    uint64_t stall_sa_port = 0;
+    uint64_t stall_mem_port = 0;
+    uint64_t idle_done = 0; ///< cycles after this core retired
+};
+
+/** Result of a timing run. */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    std::vector<CoreStats> core;
+    std::vector<int64_t> live_outs;
+    bool queues_drained = false;
+
+    uint64_t l1_hits = 0, l1_misses = 0;
+    uint64_t l2_hits = 0, l2_misses = 0;
+    uint64_t l3_hits = 0, l3_misses = 0;
+    uint64_t sa_port_conflicts = 0;
+};
+
+/** The simulator. One instance per run. */
+class CmpSimulator
+{
+  public:
+    explicit CmpSimulator(const MachineConfig &config);
+
+    /**
+     * Simulate @p prog to completion.
+     * @param prog threads to run, one per core (threads <= cores).
+     * @param args live-in values, broadcast to all threads.
+     * @param mem  shared data memory (mutated).
+     */
+    SimResult run(const MtProgram &prog,
+                  const std::vector<int64_t> &args, MemoryImage &mem);
+
+  private:
+    MachineConfig config_;
+};
+
+/**
+ * Convenience: simulate the single-threaded original as a 1-thread
+ * MtProgram on one core (the paper's speedup baseline).
+ */
+SimResult simulateSingleThreaded(const Function &f,
+                                 const std::vector<int64_t> &args,
+                                 MemoryImage &mem,
+                                 const MachineConfig &config);
+
+} // namespace gmt
+
+#endif // GMT_SIM_CMP_SIMULATOR_HPP

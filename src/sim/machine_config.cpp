@@ -1,0 +1,41 @@
+#include "sim/machine_config.hpp"
+
+#include <ostream>
+
+#include "support/table.hpp"
+
+namespace gmt
+{
+
+void
+MachineConfig::print(std::ostream &os) const
+{
+    Table t("Machine details (paper Figure 6(a))");
+    t.setHeader({"Component", "Configuration"},
+                {Align::Left, Align::Left});
+    t.addRow({"Cores", std::to_string(num_cores) + " in-order, " +
+                           std::to_string(issue_width) + "-issue, " +
+                           std::to_string(mem_ports) + " memory ports"});
+    auto cache_row = [&](const char *name, const CacheConfig &c) {
+        t.addRow({name, std::to_string(c.size_bytes / 1024) + " KB, " +
+                            std::to_string(c.associativity) + "-way, " +
+                            std::to_string(c.line_bytes) + "B lines, " +
+                            std::to_string(c.hit_latency) +
+                            "-cycle hit"});
+    };
+    cache_row("L1D (private)", l1d);
+    cache_row("L2 (private)", l2);
+    cache_row("L3 (shared)", l3);
+    t.addRow({"Main memory",
+              std::to_string(memory_latency) + "-cycle latency"});
+    t.addRow({"Coherence", "snoop-based write-invalidate"});
+    t.addRow({"Sync array", std::to_string(sa_queues) + " queues, " +
+                                std::to_string(sa_ports) +
+                                " shared ports, " +
+                                std::to_string(sa_latency) +
+                                "-cycle access, depth " +
+                                std::to_string(queue_capacity)});
+    t.print(os);
+}
+
+} // namespace gmt

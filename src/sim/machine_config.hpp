@@ -1,0 +1,62 @@
+#ifndef GMT_SIM_MACHINE_CONFIG_HPP
+#define GMT_SIM_MACHINE_CONFIG_HPP
+
+/**
+ * @file
+ * The simulated dual-core CMP of the paper's Figure 6(a): two
+ * Itanium 2-like in-order cores connected by the synchronization
+ * array [19], with private L1D/L2 caches, a shared L3, and a
+ * snoop-based write-invalidate protocol. See DESIGN.md for how this
+ * simplified model substitutes the authors' validated cycle-accurate
+ * simulator while preserving the effects COCO exploits.
+ */
+
+#include <iosfwd>
+
+namespace gmt
+{
+
+/** One cache level. */
+struct CacheConfig
+{
+    int size_bytes = 0;
+    int associativity = 1;
+    int line_bytes = 64;
+    int hit_latency = 1;
+};
+
+/** The whole machine (defaults = Figure 6(a)). */
+struct MachineConfig
+{
+    int num_cores = 2;
+
+    // Core: "6 issue, 6 ALU, 4 memory, 2 FP, 3 branch".
+    int issue_width = 6;
+    int mem_ports = 4; ///< M-type slots/cycle (loads, stores, queues)
+
+    // Simple latency table.
+    int alu_latency = 1;
+    int mul_latency = 3;
+    int div_latency = 12;
+
+    CacheConfig l1d{16 * 1024, 4, 64, 1};
+    CacheConfig l2{256 * 1024, 8, 128, 7};
+    CacheConfig l3{1536 * 1024, 12, 128, 12}; ///< shared
+    int memory_latency = 141;
+
+    // Synchronization array [19].
+    int sa_queues = 256;
+    int sa_ports = 4;   ///< request ports shared between the cores
+    int sa_latency = 1; ///< access latency
+    int queue_capacity = 32; ///< 32 for DSWP, 1 for GREMIO (paper §4)
+
+    /** The paper's configuration. */
+    static MachineConfig paperDefault() { return {}; }
+
+    /** Render the Figure 6(a) table. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace gmt
+
+#endif // GMT_SIM_MACHINE_CONFIG_HPP

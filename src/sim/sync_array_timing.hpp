@@ -1,0 +1,64 @@
+#ifndef GMT_SIM_SYNC_ARRAY_TIMING_HPP
+#define GMT_SIM_SYNC_ARRAY_TIMING_HPP
+
+/**
+ * @file
+ * Timing model of the synchronization array [19]: fixed-depth queues
+ * with a 1-cycle access latency and a limited number of request ports
+ * shared between the cores ("four request ports that are shared
+ * between the two cores", paper §4). Occupancy gates produce (full)
+ * and consume (empty); the port budget resets every cycle.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+
+namespace gmt
+{
+
+/** Cycle-stepped synchronization array. */
+class SyncArrayTiming
+{
+  public:
+    explicit SyncArrayTiming(const MachineConfig &config);
+
+    /** Call at the top of every simulated cycle. */
+    void beginCycle();
+
+    /** Is a request port available this cycle? */
+    bool portAvailable() const;
+
+    /** Can queue @p q accept a produce this cycle? */
+    bool canProduce(int q) const;
+
+    /** Does queue @p q hold a consumable value this cycle? */
+    bool canConsume(int q) const;
+
+    /** Perform the produce (consumes a port). */
+    void produce(int q, int64_t value);
+
+    /** Perform the consume (consumes a port). @return the value. */
+    int64_t consume(int q);
+
+    int latency() const { return config_.sa_latency; }
+
+    bool allDrained() const;
+
+    uint64_t portConflicts() const { return port_conflicts_; }
+
+    /** Record that a request was denied for lack of a port. */
+    void notePortConflict() { ++port_conflicts_; }
+
+  private:
+    MachineConfig config_;
+    std::vector<std::deque<int64_t>> queues_;
+    int ports_used_ = 0;
+    uint64_t port_conflicts_ = 0;
+};
+
+} // namespace gmt
+
+#endif // GMT_SIM_SYNC_ARRAY_TIMING_HPP

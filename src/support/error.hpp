@@ -1,0 +1,85 @@
+#ifndef GMT_SUPPORT_ERROR_HPP
+#define GMT_SUPPORT_ERROR_HPP
+
+/**
+ * @file
+ * Error-reporting helpers.
+ *
+ * Follows the gem5 fatal/panic split: fatal() is a user-input problem
+ * (malformed IR handed to the library, impossible configuration), panic()
+ * is an internal invariant violation (a bug in this library).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gmt
+{
+
+/** Thrown for user-level errors (bad input IR, bad configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user error by throwing FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Report an internal invariant violation by throwing PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Assert an internal invariant; active in all build types. */
+#define GMT_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gmt::panic("assertion failed: " #cond " at ", __FILE__, ":",  \
+                         __LINE__, " ", ##__VA_ARGS__);                     \
+        }                                                                   \
+    } while (0)
+
+} // namespace gmt
+
+#endif // GMT_SUPPORT_ERROR_HPP

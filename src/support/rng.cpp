@@ -1,0 +1,82 @@
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    for (auto &s : state_)
+        s = splitmix64(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    GMT_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    while (true) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    GMT_ASSERT(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace gmt

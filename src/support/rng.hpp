@@ -1,0 +1,44 @@
+#ifndef GMT_SUPPORT_RNG_HPP
+#define GMT_SUPPORT_RNG_HPP
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator (splitmix64 seeded
+ * xoshiro256**). Used everywhere randomness appears — workload input
+ * generation, randomized thread schedules, property-test program
+ * generation — so every run of the test suite and benches is repeatable.
+ */
+
+#include <cstdint>
+
+namespace gmt
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed);
+
+    /** Uniform 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace gmt
+
+#endif // GMT_SUPPORT_RNG_HPP

@@ -1,0 +1,118 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> names, std::vector<Align> aligns)
+{
+    header_ = std::move(names);
+    if (aligns.empty()) {
+        aligns_.assign(header_.size(), Align::Right);
+        if (!aligns_.empty())
+            aligns_[0] = Align::Left;
+    } else {
+        GMT_ASSERT(aligns.size() == header_.size());
+        aligns_ = std::move(aligns);
+    }
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    GMT_ASSERT(cells.size() == header_.size(), "row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&](char fill) {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, fill) << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << '|';
+        for (size_t c = 0; c < row.size(); ++c) {
+            size_t pad = widths[c] - row[c].size();
+            os << ' ';
+            if (aligns_[c] == Align::Right)
+                os << std::string(pad, ' ') << row[c];
+            else
+                os << row[c] << std::string(pad, ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    os << title_ << '\n';
+    rule('-');
+    emit(header_);
+    rule('=');
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            rule('-');
+        }
+        emit(rows_[r]);
+    }
+    rule('-');
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+} // namespace gmt

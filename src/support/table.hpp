@@ -1,0 +1,62 @@
+#ifndef GMT_SUPPORT_TABLE_HPP
+#define GMT_SUPPORT_TABLE_HPP
+
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Every bench
+ * binary prints the rows of one paper table/figure through this class so
+ * the output format is uniform and diffable.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gmt
+{
+
+/** Column alignment. */
+enum class Align { Left, Right };
+
+/**
+ * A simple monospaced table: set headers once, add rows of strings,
+ * render with aligned columns. Also exports CSV for downstream plotting.
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Define columns; call before addRow(). */
+    void setHeader(std::vector<std::string> names,
+                   std::vector<Align> aligns = {});
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render with box-drawing to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no title) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string fmt(double value, int digits = 2);
+
+    /** Format helper: percentage with sign, e.g. "-34.4%". */
+    static std::string pct(double fraction, int digits = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_; // row indices preceded by a rule
+};
+
+} // namespace gmt
+
+#endif // GMT_SUPPORT_TABLE_HPP

@@ -1,0 +1,157 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+// Memory layout (cell indices).
+constexpr int64_t kMaxN = 4096;
+constexpr int64_t kIn = 0;              // delta stream, class 1
+constexpr int64_t kOut = kIn + kMaxN;   // decoded samples, class 2
+constexpr int64_t kStep = kOut + kMaxN; // step-size table, class 3
+constexpr int64_t kIdx = kStep + 89;    // index-adjust table, class 4
+constexpr int64_t kCells = kIdx + 16;
+
+constexpr AliasClass kInCls = 1, kOutCls = 2, kStepCls = 3,
+                     kIdxCls = 4;
+
+} // namespace
+
+/**
+ * MediaBench adpcm_decoder: for each 4-bit delta, rebuild vpdiff from
+ * the current step size, update the predicted value with sign logic
+ * and saturation, advance the step index through the adjustment
+ * table, and emit the sample. Tight linear recurrence on
+ * (valpred, index) plus table loads — the paper's 100%-of-execution
+ * kernel.
+ */
+Workload
+makeAdpcmDec()
+{
+    FunctionBuilder b("adpcm_decoder");
+    Reg n = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId head = b.newBlock("loop_head");
+    BlockId body = b.newBlock("body");
+    BlockId sign_neg = b.newBlock("sign_neg");
+    BlockId sign_pos = b.newBlock("sign_pos");
+    BlockId clamp_hi = b.newBlock("clamp_hi");
+    BlockId clamp_hi_do = b.newBlock("clamp_hi_do");
+    BlockId clamp_lo = b.newBlock("clamp_lo");
+    BlockId clamp_lo_do = b.newBlock("clamp_lo_do");
+    BlockId emit = b.newBlock("emit");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg i = b.constI(0);
+    Reg valpred = b.constI(0);
+    Reg index = b.constI(0);
+    Reg zero = b.constI(0);
+    Reg one = b.constI(1);
+    Reg two = b.constI(2);
+    Reg three = b.constI(3);
+    Reg stepbase = b.constI(kStep);
+    Reg idxbase = b.constI(kIdx);
+    b.jmp(head);
+
+    b.setBlock(head);
+    Reg more = b.cmpLt(i, n);
+    b.br(more, body, done);
+
+    b.setBlock(body);
+    Reg delta = b.load(i, kIn, kInCls);
+    // step = stepsizeTable[index]
+    Reg stepaddr = b.add(stepbase, index);
+    Reg step = b.load(stepaddr, 0, kStepCls);
+    // vpdiff = step >> 3, plus step components per delta bit.
+    Reg vpdiff = b.mov(b.shr(step, three));
+    Reg bit4 = b.andr(delta, b.constI(4));
+    Reg add4 = b.mul(b.cmpNe(bit4, zero), step);
+    b.addInto(vpdiff, vpdiff, add4);
+    Reg bit2 = b.andr(delta, two);
+    Reg add2 = b.mul(b.cmpNe(bit2, zero), b.shr(step, one));
+    b.addInto(vpdiff, vpdiff, add2);
+    Reg bit1 = b.andr(delta, one);
+    Reg add1 = b.mul(b.cmpNe(bit1, zero), b.shr(step, two));
+    b.addInto(vpdiff, vpdiff, add1);
+    // Sign bit: subtract or add.
+    Reg bit8 = b.andr(delta, b.constI(8));
+    Reg negative = b.cmpNe(bit8, zero);
+    b.br(negative, sign_neg, sign_pos);
+
+    b.setBlock(sign_neg);
+    b.binopInto(Opcode::Sub, valpred, valpred, vpdiff);
+    b.jmp(clamp_hi);
+
+    b.setBlock(sign_pos);
+    b.addInto(valpred, valpred, vpdiff);
+    b.jmp(clamp_hi);
+
+    // Saturate to 16-bit range with explicit control flow (as the C
+    // source does).
+    b.setBlock(clamp_hi);
+    Reg hi = b.constI(32767);
+    Reg over = b.cmpGt(valpred, hi);
+    b.br(over, clamp_hi_do, clamp_lo);
+
+    b.setBlock(clamp_hi_do);
+    b.movInto(valpred, hi);
+    b.jmp(clamp_lo);
+
+    b.setBlock(clamp_lo);
+    Reg lo = b.constI(-32768);
+    Reg under = b.cmpLt(valpred, lo);
+    b.br(under, clamp_lo_do, emit);
+
+    b.setBlock(clamp_lo_do);
+    b.movInto(valpred, lo);
+    b.jmp(emit);
+
+    b.setBlock(emit);
+    // index += indexTable[delta]; clamp to [0, 88] (min/max form).
+    Reg idxaddr = b.add(idxbase, delta);
+    Reg adj = b.load(idxaddr, 0, kIdxCls);
+    b.addInto(index, index, adj);
+    b.binopInto(Opcode::Max, index, index, zero);
+    b.binopInto(Opcode::Min, index, index, b.constI(88));
+    b.store(i, kOut, valpred, kOutCls);
+    b.addInto(i, i, one);
+    b.jmp(head);
+
+    b.setBlock(done);
+    b.ret({valpred, index});
+
+    Workload w;
+    w.name = "adpcmdec";
+    w.function_name = "adpcm_decoder";
+    w.exec_percent = 100;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {600};
+    w.ref_args = {4000};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 777 : 333);
+        int64_t n = ref ? 4000 : 600;
+        for (int64_t k = 0; k < n; ++k)
+            mem.write(kIn + k, static_cast<int64_t>(rng.nextBelow(16)));
+        // Step-size table: the standard geometric ~1.1x progression.
+        int64_t step = 7;
+        for (int64_t k = 0; k < 89; ++k) {
+            mem.write(kStep + k, step);
+            step = step + step / 10 + 1;
+        }
+        static const int64_t kAdjust[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                            -1, -1, -1, -1, 2, 4, 6, 8};
+        for (int64_t k = 0; k < 16; ++k)
+            mem.write(kIdx + k, kAdjust[k]);
+    };
+    return w;
+}
+
+} // namespace gmt

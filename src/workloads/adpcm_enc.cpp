@@ -1,0 +1,183 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kMaxN = 4096;
+constexpr int64_t kIn = 0;              // PCM samples, class 1
+constexpr int64_t kOut = kIn + kMaxN;   // 4-bit codes, class 2
+constexpr int64_t kStep = kOut + kMaxN; // step-size table, class 3
+constexpr int64_t kIdx = kStep + 89;    // index adjust, class 4
+constexpr int64_t kCells = kIdx + 16;
+
+constexpr AliasClass kInCls = 1, kOutCls = 2, kStepCls = 3,
+                     kIdxCls = 4;
+
+} // namespace
+
+/**
+ * MediaBench adpcm_coder: quantize the prediction error into a 4-bit
+ * code by successive step comparisons, reconstruct the predictor the
+ * same way the decoder will, saturate, and advance the step index.
+ * Longer dependence recurrence than the decoder (the quantization
+ * feeds the reconstruction), with three data-dependent hammocks.
+ */
+Workload
+makeAdpcmEnc()
+{
+    FunctionBuilder b("adpcm_coder");
+    Reg n = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId head = b.newBlock("head");
+    BlockId body = b.newBlock("body");
+    BlockId neg = b.newBlock("diff_neg");
+    BlockId quant = b.newBlock("quant");
+    BlockId q4 = b.newBlock("q4");
+    BlockId q2chk = b.newBlock("q2chk");
+    BlockId q2 = b.newBlock("q2");
+    BlockId q1chk = b.newBlock("q1chk");
+    BlockId q1 = b.newBlock("q1");
+    BlockId recon = b.newBlock("recon");
+    BlockId vneg = b.newBlock("vneg");
+    BlockId vpos = b.newBlock("vpos");
+    BlockId emit = b.newBlock("emit");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg i = b.constI(0);
+    Reg valpred = b.constI(0);
+    Reg index = b.constI(0);
+    Reg zero = b.constI(0);
+    Reg one = b.constI(1);
+    Reg stepbase = b.constI(kStep);
+    Reg idxbase = b.constI(kIdx);
+    b.jmp(head);
+
+    b.setBlock(head);
+    Reg more = b.cmpLt(i, n);
+    b.br(more, body, done);
+
+    b.setBlock(body);
+    Reg sample = b.load(i, kIn, kInCls);
+    Reg diff = b.sub(sample, valpred);
+    Reg sign = b.func().newReg();
+    b.constInto(sign, 0);
+    Reg is_neg = b.cmpLt(diff, zero);
+    b.br(is_neg, neg, quant);
+
+    b.setBlock(neg);
+    b.constInto(sign, 8);
+    b.unopInto(Opcode::Neg, diff, diff);
+    b.jmp(quant);
+
+    // Quantize: delta = 0..7 by successive halving of step.
+    b.setBlock(quant);
+    Reg stepaddr = b.add(stepbase, index);
+    Reg step = b.load(stepaddr, 0, kStepCls);
+    Reg delta = b.func().newReg();
+    b.constInto(delta, 0);
+    Reg tmpstep = b.mov(step);
+    Reg vpdiff = b.mov(b.shr(step, b.constI(3)));
+    Reg ge4 = b.cmpGe(diff, tmpstep);
+    b.br(ge4, q4, q2chk);
+
+    b.setBlock(q4);
+    b.binopInto(Opcode::Or, delta, delta, b.constI(4));
+    b.binopInto(Opcode::Sub, diff, diff, tmpstep);
+    b.addInto(vpdiff, vpdiff, tmpstep);
+    b.jmp(q2chk);
+
+    b.setBlock(q2chk);
+    b.binopInto(Opcode::Shr, tmpstep, tmpstep, one);
+    Reg ge2 = b.cmpGe(diff, tmpstep);
+    b.br(ge2, q2, q1chk);
+
+    b.setBlock(q2);
+    b.binopInto(Opcode::Or, delta, delta, b.constI(2));
+    b.binopInto(Opcode::Sub, diff, diff, tmpstep);
+    b.addInto(vpdiff, vpdiff, tmpstep);
+    b.jmp(q1chk);
+
+    b.setBlock(q1chk);
+    b.binopInto(Opcode::Shr, tmpstep, tmpstep, one);
+    Reg ge1 = b.cmpGe(diff, tmpstep);
+    b.br(ge1, q1, recon);
+
+    b.setBlock(q1);
+    b.binopInto(Opcode::Or, delta, delta, one);
+    b.addInto(vpdiff, vpdiff, tmpstep);
+    b.jmp(recon);
+
+    // Reconstruct predictor with the sign applied.
+    b.setBlock(recon);
+    Reg was_neg = b.cmpNe(sign, zero);
+    b.br(was_neg, vneg, vpos);
+
+    b.setBlock(vneg);
+    b.binopInto(Opcode::Sub, valpred, valpred, vpdiff);
+    b.jmp(emit);
+
+    b.setBlock(vpos);
+    b.addInto(valpred, valpred, vpdiff);
+    b.jmp(emit);
+
+    b.setBlock(emit);
+    // Saturate (branch-free here; the decoder uses branches).
+    b.binopInto(Opcode::Min, valpred, valpred, b.constI(32767));
+    b.binopInto(Opcode::Max, valpred, valpred, b.constI(-32768));
+    // index += indexTable[delta]; clamp.
+    Reg code = b.orr(delta, sign);
+    Reg idxaddr = b.add(idxbase, code);
+    Reg adj = b.load(idxaddr, 0, kIdxCls);
+    b.addInto(index, index, adj);
+    b.binopInto(Opcode::Max, index, index, zero);
+    b.binopInto(Opcode::Min, index, index, b.constI(88));
+    b.store(i, kOut, code, kOutCls);
+    b.addInto(i, i, one);
+    b.jmp(head);
+
+    b.setBlock(done);
+    b.ret({valpred, index});
+
+    Workload w;
+    w.name = "adpcmenc";
+    w.function_name = "adpcm_coder";
+    w.exec_percent = 100;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {600};
+    w.ref_args = {4000};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 91 : 17);
+        int64_t n = ref ? 4000 : 600;
+        // A wandering waveform: sums of small random steps.
+        int64_t v = 0;
+        for (int64_t k = 0; k < n; ++k) {
+            v += rng.nextRange(-500, 500);
+            if (v > 30000)
+                v = 30000;
+            if (v < -30000)
+                v = -30000;
+            mem.write(kIn + k, v);
+        }
+        int64_t step = 7;
+        for (int64_t k = 0; k < 89; ++k) {
+            mem.write(kStep + k, step);
+            step = step + step / 10 + 1;
+        }
+        static const int64_t kAdjust[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                            -1, -1, -1, -1, 2, 4, 6, 8};
+        for (int64_t k = 0; k < 16; ++k)
+            mem.write(kIdx + k, kAdjust[k]);
+    };
+    return w;
+}
+
+} // namespace gmt

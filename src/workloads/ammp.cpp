@@ -1,0 +1,137 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kMaxAtoms = 1024;
+constexpr int64_t kWindow = 6; // neighbor window
+constexpr int64_t kPx = 0;                     // class 1
+constexpr int64_t kPy = kPx + kMaxAtoms;       // class 1
+constexpr int64_t kPz = kPy + kMaxAtoms;       // class 1
+constexpr int64_t kFx = kPz + kMaxAtoms;       // class 2
+constexpr int64_t kFy = kFx + kMaxAtoms;       // class 2
+constexpr int64_t kFz = kFy + kMaxAtoms;       // class 2
+constexpr int64_t kCells = kFz + kMaxAtoms;
+
+constexpr AliasClass kPosCls = 1, kForceCls = 2;
+
+} // namespace
+
+/**
+ * 188.ammp mm_fv_update_nonbon (79% of execution): the non-bonded
+ * force update. For each atom pair inside the neighbor window,
+ * compute the squared distance in fixed point, apply the cutoff
+ * branch, derive an inverse-square force (integer division stands in
+ * for the reciprocal), and accumulate equal-and-opposite forces —
+ * read-modify-write traffic on the force arrays under control flow.
+ */
+Workload
+makeAmmp()
+{
+    FunctionBuilder b("mm_fv_update_nonbon");
+    Reg atoms = b.param();
+    Reg cutoff = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId ihead = b.newBlock("i_head");
+    BlockId ibody = b.newBlock("i_body");
+    BlockId jhead = b.newBlock("j_head");
+    BlockId jbody = b.newBlock("j_body");
+    BlockId apply = b.newBlock("apply");
+    BlockId jnext = b.newBlock("j_next");
+    BlockId inext = b.newBlock("i_next");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg one = b.constI(1);
+    Reg window = b.constI(kWindow);
+    Reg kscale = b.constI(1 << 16);
+    Reg energy = b.constI(0);
+    Reg i = b.constI(0);
+    b.jmp(ihead);
+
+    b.setBlock(ihead);
+    Reg imax = b.sub(atoms, window);
+    Reg imore = b.cmpLt(i, imax);
+    b.br(imore, ibody, done);
+
+    b.setBlock(ibody);
+    Reg xi = b.load(i, kPx, kPosCls);
+    Reg yi = b.load(i, kPy, kPosCls);
+    Reg zi = b.load(i, kPz, kPosCls);
+    Reg j = b.func().newReg();
+    b.binopInto(Opcode::Add, j, i, one);
+    Reg jend = b.add(i, window);
+    b.jmp(jhead);
+
+    b.setBlock(jhead);
+    Reg jmore = b.cmpLe(j, jend);
+    b.br(jmore, jbody, inext);
+
+    b.setBlock(jbody);
+    Reg xj = b.load(j, kPx, kPosCls);
+    Reg yj = b.load(j, kPy, kPosCls);
+    Reg zj = b.load(j, kPz, kPosCls);
+    Reg dx = b.sub(xi, xj);
+    Reg dy = b.sub(yi, yj);
+    Reg dz = b.sub(zi, zj);
+    Reg r2 = b.add(b.add(b.mul(dx, dx), b.mul(dy, dy)),
+                   b.mul(dz, dz));
+    Reg inside = b.cmpLt(r2, cutoff);
+    b.br(inside, apply, jnext);
+
+    b.setBlock(apply);
+    // f = kscale / (r2 + 1): integer reciprocal-square stand-in.
+    Reg f = b.div(kscale, b.add(r2, one));
+    Reg fxi = b.load(i, kFx, kForceCls);
+    b.store(i, kFx, b.add(fxi, b.mul(f, dx)), kForceCls);
+    Reg fyi = b.load(i, kFy, kForceCls);
+    b.store(i, kFy, b.add(fyi, b.mul(f, dy)), kForceCls);
+    Reg fzi = b.load(i, kFz, kForceCls);
+    b.store(i, kFz, b.add(fzi, b.mul(f, dz)), kForceCls);
+    Reg fxj = b.load(j, kFx, kForceCls);
+    b.store(j, kFx, b.sub(fxj, b.mul(f, dx)), kForceCls);
+    Reg fyj = b.load(j, kFy, kForceCls);
+    b.store(j, kFy, b.sub(fyj, b.mul(f, dy)), kForceCls);
+    Reg fzj = b.load(j, kFz, kForceCls);
+    b.store(j, kFz, b.sub(fzj, b.mul(f, dz)), kForceCls);
+    b.addInto(energy, energy, f);
+    b.jmp(jnext);
+
+    b.setBlock(jnext);
+    b.addInto(j, j, one);
+    b.jmp(jhead);
+
+    b.setBlock(inext);
+    b.addInto(i, i, one);
+    b.jmp(ihead);
+
+    b.setBlock(done);
+    b.ret({energy});
+
+    Workload w;
+    w.name = "188.ammp";
+    w.function_name = "mm_fv_update_nonbon";
+    w.exec_percent = 79;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {100, 600};
+    w.ref_args = {900, 600};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 787 : 393);
+        for (int64_t a = 0; a < kMaxAtoms; ++a) {
+            mem.write(kPx + a, rng.nextRange(-12, 12));
+            mem.write(kPy + a, rng.nextRange(-12, 12));
+            mem.write(kPz + a, rng.nextRange(-12, 12));
+        }
+    };
+    return w;
+}
+
+} // namespace gmt

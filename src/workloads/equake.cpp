@@ -1,0 +1,119 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kMaxRows = 1024;
+constexpr int64_t kNzPerRow = 8;
+constexpr int64_t kMaxNz = kMaxRows * kNzPerRow;
+constexpr int64_t kRowPtr = 0;                      // class 1
+constexpr int64_t kCol = kRowPtr + kMaxRows + 1;    // class 2
+constexpr int64_t kVal = kCol + kMaxNz;             // class 3
+constexpr int64_t kX = kVal + kMaxNz;               // class 4
+constexpr int64_t kY = kX + kMaxRows;               // class 5
+constexpr int64_t kCells = kY + kMaxRows;
+
+constexpr AliasClass kRpCls = 1, kColCls = 2, kValCls = 3, kXCls = 4,
+                     kYCls = 5;
+
+} // namespace
+
+/**
+ * 183.equake smvp (63% of execution): symmetric sparse matrix-vector
+ * product in CSR form. Each nonzero contributes to the current row's
+ * accumulator *and* scatters into y[col] (read-modify-write), so the
+ * y array carries loop-borne memory dependences besides the gather
+ * loads — the classic DSWP pipeline kernel.
+ */
+Workload
+makeEquake()
+{
+    FunctionBuilder b("smvp");
+    Reg rows = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId rhead = b.newBlock("row_head");
+    BlockId rbody = b.newBlock("row_body");
+    BlockId khead = b.newBlock("nz_head");
+    BlockId kbody = b.newBlock("nz_body");
+    BlockId rdone = b.newBlock("row_done");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg one = b.constI(1);
+    Reg checksum = b.constI(0);
+    Reg r = b.constI(0);
+    b.jmp(rhead);
+
+    b.setBlock(rhead);
+    Reg more = b.cmpLt(r, rows);
+    b.br(more, rbody, done);
+
+    b.setBlock(rbody);
+    Reg k = b.load(r, kRowPtr, kRpCls);
+    Reg kend = b.load(r, kRowPtr + 1, kRpCls);
+    Reg xr = b.load(r, kX, kXCls);
+    Reg sum = b.func().newReg();
+    b.constInto(sum, 0);
+    b.jmp(khead);
+
+    b.setBlock(khead);
+    Reg kmore = b.cmpLt(k, kend);
+    b.br(kmore, kbody, rdone);
+
+    b.setBlock(kbody);
+    Reg c = b.load(k, kCol, kColCls);
+    Reg v = b.load(k, kVal, kValCls);
+    Reg xc = b.load(c, kX, kXCls);
+    b.addInto(sum, sum, b.mul(v, xc));
+    // Symmetric scatter: y[c] += v * x[r].
+    Reg yc = b.load(c, kY, kYCls);
+    b.store(c, kY, b.add(yc, b.mul(v, xr)), kYCls);
+    b.addInto(k, k, one);
+    b.jmp(khead);
+
+    b.setBlock(rdone);
+    Reg yr = b.load(r, kY, kYCls);
+    b.store(r, kY, b.add(yr, sum), kYCls);
+    b.addInto(checksum, checksum, sum);
+    b.addInto(r, r, one);
+    b.jmp(rhead);
+
+    b.setBlock(done);
+    b.ret({checksum});
+
+    Workload w;
+    w.name = "183.equake";
+    w.function_name = "smvp";
+    w.exec_percent = 63;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {128};
+    w.ref_args = {1000};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 919 : 515);
+        int64_t rows = ref ? 1000 : 128;
+        int64_t nz = 0;
+        for (int64_t r = 0; r < rows; ++r) {
+            mem.write(kRowPtr + r, nz);
+            int64_t count = 1 + rng.nextBelow(kNzPerRow);
+            for (int64_t j = 0; j < count; ++j) {
+                mem.write(kCol + nz, rng.nextBelow(rows));
+                mem.write(kVal + nz, rng.nextRange(-8, 8));
+                ++nz;
+            }
+        }
+        mem.write(kRowPtr + rows, nz);
+        for (int64_t r = 0; r < rows; ++r)
+            mem.write(kX + r, rng.nextRange(-100, 100));
+    };
+    return w;
+}
+
+} // namespace gmt

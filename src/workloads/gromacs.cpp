@@ -1,0 +1,140 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kMaxJ = 4096;
+constexpr int64_t kJx = 0;                   // class 1
+constexpr int64_t kJy = kJx + kMaxJ;         // class 1
+constexpr int64_t kJz = kJy + kMaxJ;         // class 1
+constexpr int64_t kQ = kJz + kMaxJ;          // class 2 (charges)
+constexpr int64_t kFOut = kQ + kMaxJ;        // class 3 (forces)
+constexpr int64_t kCells = kFOut + 3 * kMaxJ;
+
+constexpr AliasClass kPosCls = 1, kChargeCls = 2, kFCls = 3;
+
+} // namespace
+
+/**
+ * 435.gromacs inl1130 (75% of execution): the water-water Coulomb +
+ * Lennard-Jones inner loop. Per j-particle: gather coordinates and
+ * charge, compute the squared distance, a fixed-point inverse-r via
+ * two Newton-Raphson refinement steps (multiply-heavy, exactly why
+ * this kernel pipelines so well), combine Coulomb and LJ terms, and
+ * scatter the force components. Arithmetic dominates; memory is a
+ * regular gather/scatter.
+ */
+Workload
+makeGromacs()
+{
+    FunctionBuilder b("inl1130");
+    Reg nj = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId head = b.newBlock("head");
+    BlockId body = b.newBlock("body");
+    BlockId red_head = b.newBlock("red_head");
+    BlockId red_body = b.newBlock("red_body");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg one = b.constI(1);
+    Reg three = b.constI(3);
+    Reg shift = b.constI(12);
+    Reg scale = b.constI(1 << 24);
+    Reg ix = b.constI(5 << 6);
+    Reg iy = b.constI(3 << 6);
+    Reg iz = b.constI(7 << 6);
+    Reg vctot = b.constI(0);
+    Reg vnbtot = b.constI(0);
+    Reg j = b.constI(0);
+    b.jmp(head);
+
+    b.setBlock(head);
+    Reg more = b.cmpLt(j, nj);
+    b.br(more, body, red_head);
+
+    b.setBlock(body);
+    Reg jx = b.load(j, kJx, kPosCls);
+    Reg jy = b.load(j, kJy, kPosCls);
+    Reg jz = b.load(j, kJz, kPosCls);
+    Reg q = b.load(j, kQ, kChargeCls);
+    Reg dx = b.sub(ix, jx);
+    Reg dy = b.sub(iy, jy);
+    Reg dz = b.sub(iz, jz);
+    Reg rsq = b.add(b.add(b.mul(dx, dx), b.mul(dy, dy)),
+                    b.mul(dz, dz));
+    b.binopInto(Opcode::Max, rsq, rsq, one);
+    // Fixed-point inverse: seed then two Newton-Raphson steps
+    // (x <- x*(2 - r*x), all in Q12).
+    Reg two_fp = b.constI(2 << 12);
+    Reg x0 = b.div(scale, rsq);
+    Reg t1 = b.shr(b.mul(rsq, x0), shift);
+    Reg x1 = b.shr(b.mul(x0, b.sub(two_fp, t1)), shift);
+    Reg t2 = b.shr(b.mul(rsq, x1), shift);
+    Reg rinvsq = b.shr(b.mul(x1, b.sub(two_fp, t2)), shift);
+    // Coulomb ~ q * rinv; LJ ~ c12*rinvsq^6 - c6*rinvsq^3 (folded).
+    Reg vcoul = b.shr(b.mul(q, rinvsq), shift);
+    Reg r4 = b.shr(b.mul(rinvsq, rinvsq), shift);
+    Reg r6 = b.shr(b.mul(r4, rinvsq), shift);
+    Reg vnb = b.sub(b.mul(r6, three), r4);
+    b.addInto(vctot, vctot, vcoul);
+    b.addInto(vnbtot, vnbtot, vnb);
+    Reg fs = b.add(vcoul, vnb);
+    b.store(b.mul(j, three), kFOut, b.mul(fs, dx), kFCls);
+    b.store(b.add(b.mul(j, three), one), kFOut, b.mul(fs, dy),
+            kFCls);
+    b.store(b.add(b.mul(j, three), b.constI(2)), kFOut,
+            b.mul(fs, dz), kFCls);
+    b.addInto(j, j, one);
+    b.jmp(head);
+
+    // The i-particle force reduction: sum the scattered j-forces
+    // back into the water molecule's net force (inl1130 updates
+    // fix/fiy/fiz after the j loop). Reads the force array the inner
+    // loop wrote — a one-directional memory dependence between the
+    // two loops.
+    b.setBlock(red_head);
+    Reg k = b.func().newReg();
+    b.constInto(k, 0);
+    Reg fsum = b.func().newReg();
+    b.constInto(fsum, 0);
+    b.jmp(red_body);
+
+    b.setBlock(red_body);
+    Reg fv = b.load(k, kFOut, kFCls);
+    b.addInto(fsum, fsum, fv);
+    b.addInto(k, k, one);
+    Reg rmore = b.cmpLt(k, b.mul(nj, three));
+    b.br(rmore, red_body, done);
+
+    b.setBlock(done);
+    b.ret({vctot, vnbtot, fsum});
+
+    Workload w;
+    w.name = "435.gromacs";
+    w.function_name = "inl1130";
+    w.exec_percent = 75;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {400};
+    w.ref_args = {3500};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 435 : 217);
+        for (int64_t j = 0; j < kMaxJ; ++j) {
+            mem.write(kJx + j, rng.nextRange(-512, 512));
+            mem.write(kJy + j, rng.nextRange(-512, 512));
+            mem.write(kJz + j, rng.nextRange(-512, 512));
+            mem.write(kQ + j, rng.nextRange(1, 4096));
+        }
+    };
+    return w;
+}
+
+} // namespace gmt

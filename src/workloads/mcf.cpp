@@ -1,0 +1,107 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kMaxNodes = 4096;
+constexpr int64_t kParent = 0;                       // class 1
+constexpr int64_t kOrient = kParent + kMaxNodes;     // class 2
+constexpr int64_t kCost = kOrient + kMaxNodes;       // class 3
+constexpr int64_t kPot = kCost + kMaxNodes;          // class 4
+constexpr int64_t kCells = kPot + kMaxNodes;
+
+constexpr AliasClass kParCls = 1, kOriCls = 2, kCostCls = 3,
+                     kPotCls = 4;
+
+} // namespace
+
+/**
+ * 181.mcf refresh_potential (32% of execution): walk the spanning
+ * tree in preorder (parents precede children) and recompute each
+ * node's potential from its parent's — a read of potential[parent]
+ * followed by a write of potential[node] through the same array,
+ * i.e. a loop-carried dependence through memory, plus the
+ * up/down-arc orientation branch.
+ */
+Workload
+makeMcf()
+{
+    FunctionBuilder b("refresh_potential");
+    Reg n = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId head = b.newBlock("head");
+    BlockId body = b.newBlock("body");
+    BlockId up = b.newBlock("up_arc");
+    BlockId down = b.newBlock("down_arc");
+    BlockId next = b.newBlock("next");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg one = b.constI(1);
+    Reg zero = b.constI(0);
+    Reg big = b.constI(1 << 24);
+    // Root potential.
+    b.store(zero, kPot, big, kPotCls);
+    Reg checksum = b.constI(0);
+    Reg i = b.constI(1);
+    b.jmp(head);
+
+    b.setBlock(head);
+    Reg more = b.cmpLt(i, n);
+    b.br(more, body, done);
+
+    b.setBlock(body);
+    Reg parent = b.load(i, kParent, kParCls);
+    Reg ppot = b.load(parent, kPot, kPotCls); // reads earlier store
+    Reg cost = b.load(i, kCost, kCostCls);
+    Reg orient = b.load(i, kOrient, kOriCls);
+    Reg pot = b.func().newReg();
+    Reg is_up = b.cmpNe(orient, zero);
+    b.br(is_up, up, down);
+
+    b.setBlock(up);
+    b.binopInto(Opcode::Sub, pot, ppot, cost);
+    b.jmp(next);
+
+    b.setBlock(down);
+    b.binopInto(Opcode::Add, pot, ppot, cost);
+    b.jmp(next);
+
+    b.setBlock(next);
+    b.store(i, kPot, pot, kPotCls);
+    b.addInto(checksum, checksum, pot);
+    b.addInto(i, i, one);
+    b.jmp(head);
+
+    b.setBlock(done);
+    b.ret({checksum});
+
+    Workload w;
+    w.name = "181.mcf";
+    w.function_name = "refresh_potential";
+    w.exec_percent = 32;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {500};
+    w.ref_args = {4000};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 363 : 181);
+        int64_t n = ref ? 4000 : 500;
+        for (int64_t i = 1; i < n; ++i) {
+            // Preorder tree: parent strictly before the child.
+            mem.write(kParent + i, rng.nextBelow(i));
+            mem.write(kOrient + i, rng.nextBelow(2));
+            mem.write(kCost + i, rng.nextRange(1, 1000));
+        }
+    };
+    return w;
+}
+
+} // namespace gmt

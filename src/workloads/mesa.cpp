@@ -1,0 +1,134 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kSpan = 2048;     // pixels per call
+constexpr int64_t kTexDim = 64;     // 64x64 texture
+constexpr int64_t kTex = 0;                          // class 1
+constexpr int64_t kFb = kTex + kTexDim * kTexDim;    // class 2
+constexpr int64_t kZb = kFb + kSpan;                 // class 3
+constexpr int64_t kCells = kZb + kSpan;
+
+constexpr AliasClass kTexCls = 1, kFbCls = 2, kZbCls = 3;
+
+} // namespace
+
+/**
+ * 177.mesa general_textured_triangle (32% of execution): a span walk
+ * with fixed-point interpolation of z and the texture coordinates, a
+ * z-buffer test per pixel, and texel fetch + framebuffer/z-buffer
+ * writes on pass. The z-buffer is read *and* written through the same
+ * alias class, so a GREMIO split of this loop carries inter-thread
+ * memory dependences — one of the two benchmarks where COCO removes
+ * >99% of the dynamic memory synchronizations.
+ */
+Workload
+makeMesa()
+{
+    FunctionBuilder b("general_textured_triangle");
+    Reg n = b.param();      // pixels in the span
+    Reg dzdx = b.param();   // z slope (fixed point)
+
+    BlockId entry = b.newBlock("entry");
+    BlockId head = b.newBlock("head");
+    BlockId body = b.newBlock("body");
+    BlockId zpass = b.newBlock("zpass");
+    BlockId next = b.newBlock("next");
+    BlockId blend_head = b.newBlock("blend_head");
+    BlockId blend_body = b.newBlock("blend_body");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg one = b.constI(1);
+    Reg eight = b.constI(8);
+    Reg texmask = b.constI(kTexDim - 1);
+    Reg texdim = b.constI(kTexDim);
+    Reg i = b.constI(0);
+    Reg z = b.constI(1 << 20);
+    Reg sc = b.constI(0);            // s texture coordinate
+    Reg tc = b.constI(0);            // t texture coordinate
+    Reg dsdx = b.constI(97);         // fixed-point coordinate slopes
+    Reg dtdx = b.constI(53);
+    Reg shade = b.constI(11);
+    Reg written = b.constI(0);
+    b.jmp(head);
+
+    b.setBlock(head);
+    Reg more = b.cmpLt(i, n);
+    b.br(more, body, blend_head);
+
+    b.setBlock(body);
+    // Fixed-point interpolation (incremental adds, like the span
+    // rasterizer's inner loop).
+    b.addInto(z, z, dzdx);
+    b.addInto(sc, sc, dsdx);
+    b.addInto(tc, tc, dtdx);
+    Reg zval = b.load(i, kZb, kZbCls);
+    Reg pass = b.cmpLt(z, zval);
+    b.br(pass, zpass, next);
+
+    b.setBlock(zpass);
+    // texel = texture[(t>>8 & mask)*dim + (s>>8 & mask)]
+    Reg su = b.andr(b.shr(sc, eight), texmask);
+    Reg tu = b.andr(b.shr(tc, eight), texmask);
+    Reg taddr = b.add(b.mul(tu, texdim), su);
+    Reg texel = b.load(taddr, kTex, kTexCls);
+    Reg color = b.add(texel, shade);
+    b.store(i, kFb, color, kFbCls);
+    b.store(i, kZb, z, kZbCls);
+    b.addInto(written, written, one);
+    b.jmp(next);
+
+    b.setBlock(next);
+    b.addInto(i, i, one);
+    b.jmp(head);
+
+    // Second pass: blend the rendered span against the previous row
+    // (the rasterizer emits spans back to back; this pass reads the
+    // framebuffer the first loop wrote, a one-directional memory
+    // dependence a thread split must synchronize).
+    b.setBlock(blend_head);
+    Reg k = b.func().newReg();
+    b.constInto(k, 1);
+    Reg blend_acc = b.func().newReg();
+    b.constInto(blend_acc, 0);
+    b.jmp(blend_body);
+
+    b.setBlock(blend_body);
+    Reg c0 = b.load(k, kFb - 1, kFbCls);
+    Reg c1 = b.load(k, kFb, kFbCls);
+    Reg mixed = b.shr(b.add(c0, c1), one);
+    b.addInto(blend_acc, blend_acc, mixed);
+    b.addInto(k, k, one);
+    Reg bmore = b.cmpLt(k, n);
+    b.br(bmore, blend_body, done);
+
+    b.setBlock(done);
+    b.ret({written, z, blend_acc});
+
+    Workload w;
+    w.name = "177.mesa";
+    w.function_name = "general_textured_triangle";
+    w.exec_percent = 32;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {300, 37};
+    w.ref_args = {2000, 37};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 808 : 404);
+        for (int64_t i = 0; i < kTexDim * kTexDim; ++i)
+            mem.write(kTex + i, rng.nextRange(0, 255));
+        for (int64_t i = 0; i < kSpan; ++i)
+            mem.write(kZb + i, rng.nextRange(1 << 19, 1 << 22));
+    };
+    return w;
+}
+
+} // namespace gmt

@@ -1,0 +1,136 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kBlocks = 64; // macroblock pairs available
+constexpr int64_t kBlk1 = 0;                        // class 1
+constexpr int64_t kBlk2 = kBlk1 + kBlocks * 256;    // class 2
+constexpr int64_t kCells = kBlk2 + kBlocks * 256;
+
+constexpr AliasClass kB1Cls = 1, kB2Cls = 2;
+
+} // namespace
+
+/**
+ * mpeg2enc dist1 (58% of execution): 16x16 sum of absolute
+ * differences with the early-exit distlim test after each row, and
+ * the |a-b| hammock per element — the "register communication in
+ * various hammocks" the paper credits COCO's gains on this benchmark
+ * to. An outer loop sweeps candidate blocks, like motion estimation
+ * calling dist1 repeatedly.
+ */
+Workload
+makeMpeg2Enc()
+{
+    FunctionBuilder b("dist1");
+    Reg nblocks = b.param();
+    Reg distlim = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId mb_head = b.newBlock("mb_head");
+    BlockId row_init = b.newBlock("row_init");
+    BlockId row_head = b.newBlock("row_head");
+    BlockId col_head = b.newBlock("col_head");
+    BlockId col_body = b.newBlock("col_body");
+    BlockId neg_fix = b.newBlock("neg_fix");
+    BlockId accum = b.newBlock("accum");
+    BlockId row_done = b.newBlock("row_done");
+    BlockId early_out = b.newBlock("early_out");
+    BlockId mb_next = b.newBlock("mb_next");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg zero = b.constI(0);
+    Reg one = b.constI(1);
+    Reg sixteen = b.constI(16);
+    Reg total = b.constI(0);
+    Reg best = b.constI(int64_t{1} << 40);
+    Reg mb = b.constI(0);
+    b.jmp(mb_head);
+
+    b.setBlock(mb_head);
+    Reg mb_more = b.cmpLt(mb, nblocks);
+    b.br(mb_more, row_init, done);
+
+    b.setBlock(row_init);
+    Reg s = b.func().newReg();
+    b.constInto(s, 0);
+    Reg y = b.func().newReg();
+    b.constInto(y, 0);
+    Reg base = b.mul(mb, b.constI(256));
+    b.jmp(row_head);
+
+    b.setBlock(row_head);
+    Reg x = b.func().newReg();
+    b.constInto(x, 0);
+    Reg rowoff = b.add(base, b.mul(y, sixteen));
+    b.jmp(col_head);
+
+    b.setBlock(col_head);
+    Reg addr = b.add(rowoff, x);
+    Reg v1 = b.load(addr, kBlk1, kB1Cls);
+    Reg v2 = b.load(addr, kBlk2, kB2Cls);
+    Reg d = b.sub(v1, v2);
+    Reg isneg = b.cmpLt(d, zero);
+    b.br(isneg, neg_fix, accum); // the |a-b| hammock
+
+    b.setBlock(neg_fix);
+    b.unopInto(Opcode::Neg, d, d);
+    b.jmp(accum);
+
+    b.setBlock(accum);
+    b.addInto(s, s, d);
+    b.addInto(x, x, one);
+    Reg col_more = b.cmpLt(x, sixteen);
+    b.br(col_more, col_head, col_body);
+
+    b.setBlock(col_body); // row finished: early-exit check
+    Reg over = b.cmpGt(s, distlim);
+    b.br(over, early_out, row_done);
+
+    b.setBlock(row_done);
+    b.addInto(y, y, one);
+    Reg row_more = b.cmpLt(y, sixteen);
+    b.br(row_more, row_head, early_out);
+
+    b.setBlock(early_out);
+    b.addInto(total, total, s);
+    b.binopInto(Opcode::Min, best, best, s);
+    b.jmp(mb_next);
+
+    b.setBlock(mb_next);
+    b.addInto(mb, mb, one);
+    b.jmp(mb_head);
+
+    b.setBlock(done);
+    b.ret({total, best});
+
+    Workload w;
+    w.name = "mpeg2enc";
+    w.function_name = "dist1";
+    w.exec_percent = 58;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {8, 1200};
+    w.ref_args = {48, 1200};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 5150 : 2525);
+        for (int64_t i = 0; i < kBlocks * 256; ++i) {
+            int64_t p = rng.nextRange(0, 255);
+            mem.write(kBlk1 + i, p);
+            // blk2 correlated with blk1 so early exit sometimes fires
+            // and sometimes does not.
+            mem.write(kBlk2 + i, p + rng.nextRange(-30, 30));
+        }
+    };
+    return w;
+}
+
+} // namespace gmt

@@ -1,0 +1,153 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kMaxPly = 4096; // number of positions scored
+constexpr int64_t kBoard = 0;                      // class 1
+constexpr int64_t kPsqPawn = kBoard + kMaxPly;     // class 2
+constexpr int64_t kPsqKnight = kPsqPawn + 64;      // class 2
+constexpr int64_t kPsqRook = kPsqKnight + 64;      // class 2
+constexpr int64_t kPhase = kPsqRook + 64;          // class 3
+constexpr int64_t kCells = kPhase + 64;
+
+constexpr AliasClass kBoardCls = 1, kPsqCls = 2, kPhaseCls = 3;
+
+} // namespace
+
+/**
+ * 458.sjeng std_eval (26% of execution): static position evaluation.
+ * A walk over squares with a piece-type dispatch chain (empty, pawn,
+ * knight, rook, queen-as-default), piece-square table lookups, and a
+ * side-to-move sign flip — evaluation is almost pure control flow
+ * over loaded data, the opposite extreme from gromacs.
+ */
+Workload
+makeSjeng()
+{
+    FunctionBuilder b("std_eval");
+    Reg n = b.param(); // squares to scan (multiple positions)
+
+    BlockId entry = b.newBlock("entry");
+    BlockId head = b.newBlock("head");
+    BlockId body = b.newBlock("body");
+    BlockId pawn = b.newBlock("pawn");
+    BlockId knight_chk = b.newBlock("knight_chk");
+    BlockId knight = b.newBlock("knight");
+    BlockId rook_chk = b.newBlock("rook_chk");
+    BlockId rook = b.newBlock("rook");
+    BlockId queen = b.newBlock("queen");
+    BlockId sign = b.newBlock("sign");
+    BlockId flip = b.newBlock("flip");
+    BlockId next = b.newBlock("next");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg one = b.constI(1);
+    Reg score = b.constI(0);
+    Reg i = b.constI(0);
+    Reg mask63 = b.constI(63);
+    b.jmp(head);
+
+    b.setBlock(head);
+    Reg more = b.cmpLt(i, n);
+    b.br(more, body, done);
+
+    b.setBlock(body);
+    Reg piece = b.load(i, kBoard, kBoardCls);
+    Reg sq = b.andr(i, mask63);
+    Reg kind = b.andr(piece, b.constI(7));
+    Reg delta = b.func().newReg();
+    b.constInto(delta, 0);
+    Reg empty = b.cmpEq(kind, b.constI(0));
+    b.br(empty, next, pawn);
+
+    b.setBlock(pawn);
+    Reg is_pawn = b.cmpEq(kind, one);
+    b.br(is_pawn, knight, knight_chk); // then-block reused below
+
+    // Dispatch chain: pawn -> knight -> rook -> queen(default).
+    b.setBlock(knight); // pawn hit
+    Reg pv = b.load(sq, kPsqPawn, kPsqCls);
+    b.binopInto(Opcode::Add, delta, pv, b.constI(100));
+    b.jmp(sign);
+
+    b.setBlock(knight_chk);
+    Reg is_knight = b.cmpEq(kind, b.constI(2));
+    b.br(is_knight, rook, rook_chk);
+
+    b.setBlock(rook); // knight hit
+    Reg kv = b.load(sq, kPsqKnight, kPsqCls);
+    b.binopInto(Opcode::Add, delta, kv, b.constI(300));
+    b.jmp(sign);
+
+    b.setBlock(rook_chk);
+    Reg is_rook = b.cmpEq(kind, b.constI(3));
+    b.br(is_rook, queen, sign); // default: queen value below
+
+    b.setBlock(queen); // rook hit
+    Reg rv = b.load(sq, kPsqRook, kPsqCls);
+    b.binopInto(Opcode::Add, delta, rv, b.constI(500));
+    b.jmp(sign);
+
+    b.setBlock(sign);
+    // Other side's pieces are worth negative points.
+    Reg side = b.andr(piece, b.constI(8));
+    Reg theirs = b.cmpNe(side, b.constI(0));
+    b.br(theirs, flip, next);
+
+    b.setBlock(flip);
+    b.unopInto(Opcode::Neg, delta, delta);
+    b.jmp(next);
+
+    b.setBlock(next);
+    // Game-phase interpolation and mobility bonus: the scoring side
+    // of std_eval is itself a chunk of work fed by the dispatch
+    // chain's delta.
+    Reg phase = b.load(sq, kPhase, kPhaseCls);
+    Reg weighted = b.shr(b.mul(delta, phase), b.constI(4));
+    Reg mobility = b.andr(b.add(weighted, delta), b.constI(255));
+    b.addInto(score, score, weighted);
+    b.addInto(score, score, mobility);
+    b.addInto(i, i, one);
+    b.jmp(head);
+
+    b.setBlock(done);
+    b.ret({score});
+
+    Workload w;
+    w.name = "458.sjeng";
+    w.function_name = "std_eval";
+    w.exec_percent = 26;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {512};
+    w.ref_args = {4000};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 458 : 229);
+        for (int64_t i = 0; i < kMaxPly; ++i) {
+            // ~half the squares empty, like a midgame board.
+            int64_t piece =
+                rng.nextBool(0.5)
+                    ? 0
+                    : static_cast<int64_t>(1 + rng.nextBelow(5)) |
+                          (rng.nextBool() ? 8 : 0);
+            mem.write(kBoard + i, piece);
+        }
+        for (int64_t s = 0; s < 64; ++s) {
+            mem.write(kPsqPawn + s, rng.nextRange(-20, 20));
+            mem.write(kPsqKnight + s, rng.nextRange(-30, 30));
+            mem.write(kPsqRook + s, rng.nextRange(-15, 15));
+            mem.write(kPhase + s, rng.nextRange(4, 20));
+        }
+    };
+    return w;
+}
+
+} // namespace gmt

@@ -1,0 +1,159 @@
+#include "workloads/workload.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+constexpr int64_t kMaxNets = 512;
+constexpr int64_t kTermsPerNet = 8;
+constexpr int64_t kMaxTerms = kMaxNets * kTermsPerNet;
+constexpr int64_t kXc = 0;                        // class 1
+constexpr int64_t kYc = kXc + kMaxTerms;          // class 1
+constexpr int64_t kDelta = kYc + kMaxTerms;       // class 2
+constexpr int64_t kCost = kDelta + kMaxNets;      // class 3
+constexpr int64_t kCells = kCost + kMaxNets;
+
+constexpr AliasClass kCoordCls = 1, kDeltaCls = 2, kCostCls = 3;
+
+} // namespace
+
+/**
+ * 300.twolf new_dbox_a (30% of execution): recompute the half-
+ * perimeter bounding-box cost of each net touched by a cell move.
+ * The per-net terminal loop computes the bounding box through
+ * branchy running min/max updates; only the final box feeds the cost
+ * update and the stored per-net cost — inner-loop live-outs consumed
+ * at the net level, the structure COCO hoists.
+ */
+Workload
+makeTwolf()
+{
+    FunctionBuilder b("new_dbox_a");
+    Reg nets = b.param();
+
+    BlockId entry = b.newBlock("entry");
+    BlockId net_head = b.newBlock("net_head");
+    BlockId net_body = b.newBlock("net_body");
+    BlockId term_head = b.newBlock("term_head");
+    BlockId term_body = b.newBlock("term_body");
+    BlockId xlo_do = b.newBlock("xlo_do");
+    BlockId xhi_chk = b.newBlock("xhi_chk");
+    BlockId xhi_do = b.newBlock("xhi_do");
+    BlockId ylo_chk = b.newBlock("ylo_chk");
+    BlockId ylo_do = b.newBlock("ylo_do");
+    BlockId yhi_chk = b.newBlock("yhi_chk");
+    BlockId yhi_do = b.newBlock("yhi_do");
+    BlockId term_next = b.newBlock("term_next");
+    BlockId net_done = b.newBlock("net_done");
+    BlockId done = b.newBlock("done");
+
+    b.setBlock(entry);
+    Reg one = b.constI(1);
+    Reg big = b.constI(1 << 30);
+    Reg tpn = b.constI(kTermsPerNet);
+    Reg total = b.constI(0);
+    Reg net = b.constI(0);
+    b.jmp(net_head);
+
+    b.setBlock(net_head);
+    Reg nmore = b.cmpLt(net, nets);
+    b.br(nmore, net_body, done);
+
+    b.setBlock(net_body);
+    Reg delta = b.load(net, kDelta, kDeltaCls);
+    Reg xlo = b.func().newReg();
+    b.movInto(xlo, big);
+    Reg xhi = b.func().newReg();
+    b.binopInto(Opcode::Sub, xhi, b.constI(0), big);
+    Reg ylo = b.func().newReg();
+    b.movInto(ylo, big);
+    Reg yhi = b.func().newReg();
+    b.binopInto(Opcode::Sub, yhi, b.constI(0), big);
+    Reg base = b.mul(net, tpn);
+    Reg t = b.func().newReg();
+    b.constInto(t, 0);
+    b.jmp(term_head);
+
+    b.setBlock(term_head);
+    Reg tmore = b.cmpLt(t, tpn);
+    b.br(tmore, term_body, net_done);
+
+    b.setBlock(term_body);
+    Reg addr = b.add(base, t);
+    Reg x = b.add(b.load(addr, kXc, kCoordCls), delta);
+    Reg y = b.load(addr, kYc, kCoordCls);
+    Reg xlt = b.cmpLt(x, xlo);
+    b.br(xlt, xlo_do, xhi_chk);
+
+    b.setBlock(xlo_do);
+    b.movInto(xlo, x);
+    b.jmp(xhi_chk);
+
+    b.setBlock(xhi_chk);
+    Reg xgt = b.cmpGt(x, xhi);
+    b.br(xgt, xhi_do, ylo_chk);
+
+    b.setBlock(xhi_do);
+    b.movInto(xhi, x);
+    b.jmp(ylo_chk);
+
+    b.setBlock(ylo_chk);
+    Reg ylt = b.cmpLt(y, ylo);
+    b.br(ylt, ylo_do, yhi_chk);
+
+    b.setBlock(ylo_do);
+    b.movInto(ylo, y);
+    b.jmp(yhi_chk);
+
+    b.setBlock(yhi_chk);
+    Reg ygt = b.cmpGt(y, yhi);
+    b.br(ygt, yhi_do, term_next);
+
+    b.setBlock(yhi_do);
+    b.movInto(yhi, y);
+    b.jmp(term_next);
+
+    b.setBlock(term_next);
+    b.addInto(t, t, one);
+    b.jmp(term_head);
+
+    // Only the final bounding box leaves the terminal loop.
+    b.setBlock(net_done);
+    Reg half = b.add(b.sub(xhi, xlo), b.sub(yhi, ylo));
+    Reg old_cost = b.load(net, kCost, kCostCls);
+    b.store(net, kCost, half, kCostCls);
+    b.addInto(total, total, b.sub(half, old_cost));
+    b.addInto(net, net, one);
+    b.jmp(net_head);
+
+    b.setBlock(done);
+    b.ret({total});
+
+    Workload w;
+    w.name = "300.twolf";
+    w.function_name = "new_dbox_a";
+    w.exec_percent = 30;
+    w.func = b.finish();
+    w.mem_cells = kCells;
+    w.train_args = {64};
+    w.ref_args = {480};
+    w.fill = [](MemoryImage &mem, bool ref) {
+        Rng rng(ref ? 300 : 150);
+        for (int64_t t = 0; t < kMaxTerms; ++t) {
+            mem.write(kXc + t, rng.nextRange(0, 10000));
+            mem.write(kYc + t, rng.nextRange(0, 10000));
+        }
+        for (int64_t n = 0; n < kMaxNets; ++n) {
+            mem.write(kDelta + n, rng.nextRange(-40, 40));
+            mem.write(kCost + n, rng.nextRange(0, 20000));
+        }
+    };
+    return w;
+}
+
+} // namespace gmt

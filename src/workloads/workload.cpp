@@ -1,0 +1,24 @@
+#include "workloads/workload.hpp"
+
+namespace gmt
+{
+
+std::vector<Workload>
+allWorkloads()
+{
+    std::vector<Workload> all;
+    all.push_back(makeAdpcmDec());
+    all.push_back(makeAdpcmEnc());
+    all.push_back(makeKs());
+    all.push_back(makeMpeg2Enc());
+    all.push_back(makeMesa());
+    all.push_back(makeMcf());
+    all.push_back(makeEquake());
+    all.push_back(makeAmmp());
+    all.push_back(makeTwolf());
+    all.push_back(makeGromacs());
+    all.push_back(makeSjeng());
+    return all;
+}
+
+} // namespace gmt

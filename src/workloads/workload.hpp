@@ -1,0 +1,70 @@
+#ifndef GMT_WORKLOADS_WORKLOAD_HPP
+#define GMT_WORKLOADS_WORKLOAD_HPP
+
+/**
+ * @file
+ * The benchmark kernels of the paper's Figure 6(b).
+ *
+ * The paper parallelizes one hot function from each of 11 MediaBench /
+ * SPEC-CPU / Pointer-Intensive applications. The originals are not
+ * redistributable, so each kernel here is a hand-written IR program
+ * that mirrors the corresponding function's loop structure, control
+ * flow, data recurrences, and memory access pattern (the features the
+ * partitioners and COCO react to) — see DESIGN.md's substitution
+ * table. Profiles are collected on `train` inputs and all measurements
+ * run on larger `ref` inputs, matching the paper's methodology.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "runtime/memory_image.hpp"
+
+namespace gmt
+{
+
+/** One benchmark kernel plus its inputs. */
+struct Workload
+{
+    std::string name;          ///< e.g. "adpcmdec"
+    std::string function_name; ///< e.g. "adpcm_decoder"
+    int exec_percent = 100;    ///< Figure 6(b) "Exec. %"
+
+    Function func{""};
+
+    /** Cells of data memory the kernel addresses. */
+    int64_t mem_cells = 0;
+
+    std::vector<int64_t> train_args;
+    std::vector<int64_t> ref_args;
+
+    /**
+     * Deterministically fill input regions of a fresh MemoryImage
+     * (which already has mem_cells allocated). @p ref selects the
+     * reference (vs train) input content.
+     */
+    std::function<void(MemoryImage &, bool ref)> fill;
+};
+
+/** Factories, one per Figure 6(b) row. */
+Workload makeAdpcmDec();
+Workload makeAdpcmEnc();
+Workload makeKs();
+Workload makeMpeg2Enc();
+Workload makeMesa();
+Workload makeMcf();
+Workload makeEquake();
+Workload makeAmmp();
+Workload makeTwolf();
+Workload makeGromacs();
+Workload makeSjeng();
+
+/** All 11 kernels in the paper's order. */
+std::vector<Workload> allWorkloads();
+
+} // namespace gmt
+
+#endif // GMT_WORKLOADS_WORKLOAD_HPP

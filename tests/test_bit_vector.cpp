@@ -1,0 +1,163 @@
+#include "support/bit_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+TEST(BitVector, StartsEmpty)
+{
+    BitVector bv(100);
+    EXPECT_EQ(bv.size(), 100u);
+    EXPECT_TRUE(bv.empty());
+    EXPECT_EQ(bv.count(), 0u);
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(bv.test(i));
+}
+
+TEST(BitVector, SetResetTest)
+{
+    BitVector bv(130);
+    bv.set(0);
+    bv.set(63);
+    bv.set(64);
+    bv.set(129);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(63));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(129));
+    EXPECT_FALSE(bv.test(1));
+    EXPECT_EQ(bv.count(), 4u);
+    bv.reset(64);
+    EXPECT_FALSE(bv.test(64));
+    EXPECT_EQ(bv.count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsSize)
+{
+    BitVector bv(70);
+    bv.setAll();
+    EXPECT_EQ(bv.count(), 70u);
+    bv.clearAll();
+    EXPECT_TRUE(bv.empty());
+}
+
+TEST(BitVector, UnionReportsChange)
+{
+    BitVector a(64), b(64);
+    b.set(10);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b)); // already contained
+    EXPECT_TRUE(a.test(10));
+}
+
+TEST(BitVector, IntersectReportsChange)
+{
+    BitVector a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    EXPECT_TRUE(a.intersectWith(b));
+    EXPECT_FALSE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+    EXPECT_FALSE(a.intersectWith(b));
+}
+
+TEST(BitVector, SubtractRemovesBits)
+{
+    BitVector a(64), b(64);
+    a.set(3);
+    a.set(4);
+    b.set(4);
+    EXPECT_TRUE(a.subtract(b));
+    EXPECT_TRUE(a.test(3));
+    EXPECT_FALSE(a.test(4));
+    EXPECT_FALSE(a.subtract(b));
+}
+
+TEST(BitVector, ForEachVisitsAscending)
+{
+    BitVector bv(200);
+    std::set<size_t> expect{0, 5, 63, 64, 65, 128, 199};
+    for (size_t i : expect)
+        bv.set(i);
+    std::vector<size_t> seen;
+    bv.forEach([&](size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, std::vector<size_t>(expect.begin(), expect.end()));
+}
+
+TEST(BitVector, EqualityComparesContent)
+{
+    BitVector a(64), b(64);
+    a.set(7);
+    EXPECT_NE(a, b);
+    b.set(7);
+    EXPECT_EQ(a, b);
+}
+
+// Property test: BitVector set algebra agrees with std::set on random
+// operation sequences.
+TEST(BitVectorProperty, MatchesReferenceSet)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        size_t size = 1 + rng.nextBelow(300);
+        BitVector bv(size);
+        std::set<size_t> ref;
+        for (int op = 0; op < 200; ++op) {
+            size_t i = rng.nextBelow(size);
+            switch (rng.nextBelow(3)) {
+              case 0:
+                bv.set(i);
+                ref.insert(i);
+                break;
+              case 1:
+                bv.reset(i);
+                ref.erase(i);
+                break;
+              case 2:
+                ASSERT_EQ(bv.test(i), ref.count(i) > 0);
+                break;
+            }
+        }
+        ASSERT_EQ(bv.count(), ref.size());
+    }
+}
+
+TEST(BitVectorProperty, BinaryOpsMatchReference)
+{
+    Rng rng(43);
+    for (int trial = 0; trial < 50; ++trial) {
+        size_t size = 1 + rng.nextBelow(150);
+        BitVector a(size), b(size);
+        std::set<size_t> ra, rb;
+        for (size_t i = 0; i < size; ++i) {
+            if (rng.nextBool(0.4)) {
+                a.set(i);
+                ra.insert(i);
+            }
+            if (rng.nextBool(0.4)) {
+                b.set(i);
+                rb.insert(i);
+            }
+        }
+        BitVector u = a, x = a, d = a;
+        u.unionWith(b);
+        x.intersectWith(b);
+        d.subtract(b);
+        for (size_t i = 0; i < size; ++i) {
+            ASSERT_EQ(u.test(i), ra.count(i) || rb.count(i));
+            ASSERT_EQ(x.test(i), ra.count(i) && rb.count(i));
+            ASSERT_EQ(d.test(i), ra.count(i) && !rb.count(i));
+        }
+    }
+}
+
+} // namespace
+} // namespace gmt

@@ -1,0 +1,111 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+TEST(Digraph, AddNodesAndEdges)
+{
+    Digraph g;
+    NodeId a = g.addNode();
+    NodeId b = g.addNode();
+    NodeId c = g.addNode();
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    EXPECT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_TRUE(g.hasEdge(a, b));
+    EXPECT_FALSE(g.hasEdge(b, a));
+    EXPECT_EQ(g.succs(a).size(), 1u);
+    EXPECT_EQ(g.preds(c).size(), 1u);
+}
+
+TEST(Digraph, ParallelEdgesCollapse)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.numEdges(), 1);
+}
+
+TEST(Digraph, TopoSortRespectsEdges)
+{
+    Digraph g(5);
+    g.addEdge(0, 2);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(2, 4);
+    auto order = g.topoSort();
+    ASSERT_EQ(order.size(), 5u);
+    std::vector<int> pos(5);
+    for (int i = 0; i < 5; ++i)
+        pos[order[i]] = i;
+    for (NodeId u = 0; u < 5; ++u) {
+        for (NodeId v : g.succs(u))
+            EXPECT_LT(pos[u], pos[v]);
+    }
+}
+
+TEST(Digraph, TopoSortDetectsCycle)
+{
+    Digraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    EXPECT_TRUE(g.topoSort().empty());
+    EXPECT_FALSE(g.isAcyclic());
+}
+
+TEST(Digraph, EmptyGraphIsAcyclic)
+{
+    Digraph g;
+    EXPECT_TRUE(g.isAcyclic());
+}
+
+TEST(Digraph, ReachableFrom)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    auto seen = g.reachableFrom(0);
+    EXPECT_TRUE(seen[0]);
+    EXPECT_TRUE(seen[1]);
+    EXPECT_TRUE(seen[2]);
+    EXPECT_FALSE(seen[3]);
+}
+
+// Property: on random DAGs (edges only low->high), topoSort succeeds
+// and respects all edges.
+TEST(DigraphProperty, RandomDagsSort)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 40; ++trial) {
+        int n = 2 + static_cast<int>(rng.nextBelow(30));
+        Digraph g(n);
+        for (int u = 0; u < n; ++u) {
+            for (int v = u + 1; v < n; ++v) {
+                if (rng.nextBool(0.2))
+                    g.addEdge(u, v);
+            }
+        }
+        auto order = g.topoSort();
+        ASSERT_EQ(static_cast<int>(order.size()), n);
+        std::vector<int> pos(n);
+        for (int i = 0; i < n; ++i)
+            pos[order[i]] = i;
+        for (NodeId u = 0; u < n; ++u) {
+            for (NodeId v : g.succs(u))
+                ASSERT_LT(pos[u], pos[v]);
+        }
+    }
+}
+
+} // namespace
+} // namespace gmt

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hpp"
+#include "driver/report.hpp"
+#include "workloads/workload.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+TEST(Report, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Report, RelativeComm)
+{
+    PipelineResult a, b;
+    a.reg_comm = 50;
+    b.reg_comm = 100;
+    EXPECT_DOUBLE_EQ(relativeComm(a, b), 0.5);
+    PipelineResult none;
+    EXPECT_DOUBLE_EQ(relativeComm(a, none), 1.0);
+}
+
+TEST(Driver, SchedulerNames)
+{
+    EXPECT_STREQ(schedulerName(Scheduler::Dswp), "DSWP");
+    EXPECT_STREQ(schedulerName(Scheduler::Gremio), "GREMIO");
+}
+
+TEST(Driver, ResultAccessors)
+{
+    PipelineResult r;
+    r.computation = 10;
+    r.duplicated_branches = 2;
+    r.reg_comm = 6;
+    r.mem_sync = 4;
+    r.st_cycles = 200;
+    r.mt_cycles = 100;
+    EXPECT_EQ(r.communication(), 10u);
+    EXPECT_EQ(r.total(), 22u);
+    EXPECT_DOUBLE_EQ(r.speedup(), 2.0);
+}
+
+TEST(Driver, StaticProfilePipelineRuns)
+{
+    Workload w = makeMpeg2Enc();
+    PipelineOptions opts;
+    opts.scheduler = Scheduler::Dswp;
+    opts.use_coco = true;
+    opts.static_profile = true;
+    opts.simulate = false;
+    auto r = runPipeline(w, opts); // oracle asserts equivalence
+    EXPECT_GT(r.computation, 0u);
+}
+
+TEST(Driver, ArchitectedQueueBudgetRuns)
+{
+    Workload w = makeAdpcmDec();
+    for (Scheduler sched : {Scheduler::Dswp, Scheduler::Gremio}) {
+        PipelineOptions opts;
+        opts.scheduler = sched;
+        opts.use_coco = false; // default MTCG has the most queues
+        opts.max_queues = 8;
+        opts.simulate = false;
+        auto r = runPipeline(w, opts);
+        EXPECT_GT(r.communication(), 0u);
+    }
+}
+
+TEST(Driver, FourThreadsEndToEnd)
+{
+    // The paper's section 6 scaling claim: more threads still produce
+    // correct code (the pipeline's oracle asserts it) with a larger
+    // communication share.
+    Workload w = makeKs();
+    PipelineOptions two;
+    two.scheduler = Scheduler::Gremio;
+    two.num_threads = 2;
+    two.machine.num_cores = 2;
+    two.simulate = false;
+    auto r2 = runPipeline(w, two);
+
+    PipelineOptions four = two;
+    four.num_threads = 4;
+    four.machine.num_cores = 4;
+    auto r4 = runPipeline(w, four);
+    EXPECT_GE(r4.communication(), r2.communication());
+
+    four.use_coco = true;
+    auto r4c = runPipeline(w, four);
+    EXPECT_LE(r4c.communication(), r4.communication());
+}
+
+TEST(Driver, CocoIterationsReported)
+{
+    Workload w = makeMesa();
+    PipelineOptions opts;
+    opts.scheduler = Scheduler::Gremio;
+    opts.use_coco = true;
+    opts.simulate = false;
+    auto r = runPipeline(w, opts);
+    EXPECT_GE(r.coco_iterations, 1);
+    EXPECT_LT(r.coco_iterations, 16);
+}
+
+TEST(Driver, SimulatedCyclesPopulated)
+{
+    Workload w = makeTwolf();
+    PipelineOptions opts;
+    opts.scheduler = Scheduler::Dswp;
+    opts.use_coco = true;
+    auto r = runPipeline(w, opts);
+    EXPECT_GT(r.st_cycles, 0u);
+    EXPECT_GT(r.mt_cycles, 0u);
+    EXPECT_GT(r.speedup(), 0.1);
+}
+
+} // namespace
+} // namespace gmt

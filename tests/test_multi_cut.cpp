@@ -1,0 +1,135 @@
+#include "graph/multi_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+TEST(MultiCut, SinglePairReducesToMinCut)
+{
+    FlowNetwork net(3);
+    net.addArc(0, 1, 4);
+    net.addArc(1, 2, 6);
+    auto result = multiPairMinCut(net, {{0, 2}});
+    EXPECT_TRUE(result.finite);
+    EXPECT_EQ(result.cost, 4);
+    ASSERT_EQ(result.arcs.size(), 1u);
+}
+
+TEST(MultiCut, SharedArcCountedOnce)
+{
+    // Two pairs whose only connection is the same middle arc: cutting
+    // it once disconnects both (the paper's motivation for sharing
+    // synchronization instructions).
+    FlowNetwork net(6);
+    net.addArc(0, 2, kInfCapacity); // pair A source side
+    net.addArc(1, 2, kInfCapacity); // pair B source side
+    int shared = net.addArc(2, 3, 5);
+    net.addArc(3, 4, kInfCapacity); // pair A sink side
+    net.addArc(3, 5, kInfCapacity); // pair B sink side
+    auto result = multiPairMinCut(net, {{0, 4}, {1, 5}});
+    EXPECT_TRUE(result.finite);
+    EXPECT_EQ(result.cost, 5);
+    ASSERT_EQ(result.arcs.size(), 1u);
+    EXPECT_EQ(result.arcs[0], shared);
+}
+
+TEST(MultiCut, DisjointPairsCutSeparately)
+{
+    FlowNetwork net(4);
+    net.addArc(0, 1, 3);
+    net.addArc(2, 3, 4);
+    auto result = multiPairMinCut(net, {{0, 1}, {2, 3}});
+    EXPECT_TRUE(result.finite);
+    EXPECT_EQ(result.cost, 7);
+    EXPECT_EQ(result.arcs.size(), 2u);
+}
+
+TEST(MultiCut, HeuristicNeverWorseThanSuperPairHere)
+{
+    // Cross topology where the super-pair formulation over-constrains:
+    // pairs (0 -> 3) and (1 -> 4), but 0 also reaches 4 cheaply. The
+    // per-pair heuristic only needs to cut each pair's own paths.
+    auto build = [] {
+        FlowNetwork net(5);
+        net.addArc(0, 2, 2);
+        net.addArc(1, 2, 2);
+        net.addArc(2, 3, 3);
+        net.addArc(2, 4, 3);
+        net.addArc(0, 4, 1); // cross path: only matters to super-pair
+        return net;
+    };
+    FlowNetwork a = build();
+    auto heur = multiPairMinCut(a, {{0, 3}, {1, 4}});
+    FlowNetwork b = build();
+    auto super = superPairMinCut(b, {{0, 3}, {1, 4}});
+    EXPECT_TRUE(heur.finite);
+    EXPECT_TRUE(super.finite);
+    EXPECT_LE(heur.cost, super.cost);
+}
+
+TEST(MultiCut, EmptyPairsNoCut)
+{
+    FlowNetwork net(2);
+    net.addArc(0, 1, 1);
+    auto result = multiPairMinCut(net, {});
+    EXPECT_TRUE(result.finite);
+    EXPECT_EQ(result.cost, 0);
+    EXPECT_TRUE(result.arcs.empty());
+}
+
+// Property: after the heuristic runs, every pair is disconnected in
+// the pruned network.
+TEST(MultiCutProperty, CutsDisconnectAllPairs)
+{
+    Rng rng(555);
+    for (int trial = 0; trial < 40; ++trial) {
+        int n = 4 + static_cast<int>(rng.nextBelow(12));
+        struct A
+        {
+            int u, v;
+            Capacity c;
+        };
+        std::vector<A> arcs;
+        for (int e = 0; e < 3 * n; ++e) {
+            int u = static_cast<int>(rng.nextBelow(n));
+            int v = static_cast<int>(rng.nextBelow(n));
+            if (u != v)
+                arcs.push_back({u, v, 1 + (Capacity)rng.nextBelow(9)});
+        }
+        std::vector<std::pair<int, int>> pairs;
+        for (int p = 0; p < 3; ++p) {
+            int s = static_cast<int>(rng.nextBelow(n));
+            int t = static_cast<int>(rng.nextBelow(n));
+            if (s != t)
+                pairs.push_back({s, t});
+        }
+        FlowNetwork net(n);
+        for (auto &a : arcs)
+            net.addArc(a.u, a.v, a.c);
+        auto result = multiPairMinCut(net, pairs);
+        ASSERT_TRUE(result.finite);
+
+        // Rebuild without the cut arcs; each pair must have 0 flow.
+        for (auto [s, t] : pairs) {
+            FlowNetwork pruned(n);
+            for (size_t i = 0; i < arcs.size(); ++i) {
+                bool cut = std::find(result.arcs.begin(), result.arcs.end(),
+                                     static_cast<int>(i)) !=
+                           result.arcs.end();
+                if (!cut)
+                    pruned.addArc(arcs[i].u, arcs[i].v, arcs[i].c);
+            }
+            MaxFlow mf(pruned);
+            ASSERT_EQ(mf.solve(s, t), 0)
+                << "pair (" << s << "," << t << ") still connected";
+        }
+    }
+}
+
+} // namespace
+} // namespace gmt

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "runtime/interpreter.hpp"
+#include "support/rng.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+/** Reference semantics for every ALU opcode. */
+int64_t
+reference(Opcode op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::Div: return b == 0 ? 0 : a / b;
+      case Opcode::Rem: return b == 0 ? 0 : a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return a << (b & 63);
+      case Opcode::Shr: return a >> (b & 63);
+      case Opcode::Min: return std::min(a, b);
+      case Opcode::Max: return std::max(a, b);
+      case Opcode::CmpEq: return a == b;
+      case Opcode::CmpNe: return a != b;
+      case Opcode::CmpLt: return a < b;
+      case Opcode::CmpLe: return a <= b;
+      case Opcode::CmpGt: return a > b;
+      case Opcode::CmpGe: return a >= b;
+      default: return 0;
+    }
+}
+
+class BinopSemantics : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(BinopSemantics, MatchesReferenceThroughInterpreter)
+{
+    Opcode op = GetParam();
+    FunctionBuilder b("op");
+    Reg x = b.param();
+    Reg y = b.param();
+    BlockId bb = b.newBlock("b");
+    b.setBlock(bb);
+    Reg r = b.binop(op, x, y);
+    b.ret({r});
+    Function f = b.finish();
+    verifyOrDie(f);
+
+    Rng rng(7000 + static_cast<int>(op));
+    for (int k = 0; k < 50; ++k) {
+        int64_t a = rng.nextRange(-1000, 1000);
+        int64_t c = rng.nextRange(-64, 64);
+        MemoryImage mem;
+        auto run = interpret(f, {a, c}, mem);
+        ASSERT_EQ(run.live_outs[0], reference(op, a, c))
+            << opcodeName(op) << "(" << a << ", " << c << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinops, BinopSemantics,
+    ::testing::Values(Opcode::Add, Opcode::Sub, Opcode::Mul,
+                      Opcode::Div, Opcode::Rem, Opcode::And,
+                      Opcode::Or, Opcode::Xor, Opcode::Shl,
+                      Opcode::Shr, Opcode::Min, Opcode::Max,
+                      Opcode::CmpEq, Opcode::CmpNe, Opcode::CmpLt,
+                      Opcode::CmpLe, Opcode::CmpGt, Opcode::CmpGe),
+    [](const auto &info) {
+        return std::string(opcodeName(info.param));
+    });
+
+TEST(UnopSemantics, NegNotAbsMov)
+{
+    FunctionBuilder b("un");
+    Reg x = b.param();
+    BlockId bb = b.newBlock("b");
+    b.setBlock(bb);
+    Reg n = b.neg(x);
+    Reg t = b.unop(Opcode::Not, x);
+    Reg a = b.abs(x);
+    Reg m = b.mov(x);
+    b.ret({n, t, a, m});
+    Function f = b.finish();
+    for (int64_t v : {-17, 0, 3}) {
+        MemoryImage mem;
+        auto run = interpret(f, {v}, mem);
+        EXPECT_EQ(run.live_outs[0], -v);
+        EXPECT_EQ(run.live_outs[1], ~v);
+        EXPECT_EQ(run.live_outs[2], v < 0 ? -v : v);
+        EXPECT_EQ(run.live_outs[3], v);
+    }
+}
+
+TEST(OpcodeMeta, NamesAndClasses)
+{
+    EXPECT_EQ(opcodeName(Opcode::ProduceSync), "produce.sync");
+    EXPECT_TRUE(isTerminator(Opcode::Ret));
+    EXPECT_FALSE(isTerminator(Opcode::Add));
+    EXPECT_TRUE(isMemoryAccess(Opcode::Load));
+    EXPECT_TRUE(isCommunication(Opcode::Consume));
+    EXPECT_FALSE(hasDest(Opcode::Store));
+    EXPECT_TRUE(hasDest(Opcode::Consume));
+    EXPECT_EQ(numSrcs(Opcode::Store), 2);
+    EXPECT_EQ(numSrcs(Opcode::Br), 1);
+    EXPECT_TRUE(usesMemoryPort(Opcode::Produce));
+    EXPECT_FALSE(usesMemoryPort(Opcode::Add));
+}
+
+} // namespace
+} // namespace gmt

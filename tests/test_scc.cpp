@@ -1,0 +1,127 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+TEST(Scc, SingleCycle)
+{
+    Digraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    auto sccs = computeSccs(g);
+    EXPECT_EQ(sccs.numComponents(), 1);
+    EXPECT_EQ(sccs.members[0].size(), 3u);
+}
+
+TEST(Scc, Chain)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    auto sccs = computeSccs(g);
+    EXPECT_EQ(sccs.numComponents(), 4);
+    // Component ids must be in topological order along the chain.
+    EXPECT_LT(sccs.component[0], sccs.component[1]);
+    EXPECT_LT(sccs.component[1], sccs.component[2]);
+    EXPECT_LT(sccs.component[2], sccs.component[3]);
+}
+
+TEST(Scc, TwoCyclesBridged)
+{
+    // 0 <-> 1 -> 2 <-> 3
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 2);
+    auto sccs = computeSccs(g);
+    EXPECT_EQ(sccs.numComponents(), 2);
+    EXPECT_EQ(sccs.component[0], sccs.component[1]);
+    EXPECT_EQ(sccs.component[2], sccs.component[3]);
+    EXPECT_LT(sccs.component[0], sccs.component[2]);
+}
+
+TEST(Scc, CondensationIsAcyclic)
+{
+    Digraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 2);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(5, 4);
+    auto sccs = computeSccs(g);
+    auto dag = condense(g, sccs);
+    EXPECT_EQ(dag.numNodes(), 3);
+    EXPECT_TRUE(dag.isAcyclic());
+}
+
+// Brute-force mutual reachability for the property test.
+std::vector<int>
+bruteSccIds(const Digraph &g)
+{
+    int n = g.numNodes();
+    std::vector<std::vector<bool>> reach(n);
+    for (int u = 0; u < n; ++u)
+        reach[u] = g.reachableFrom(u);
+    std::vector<int> id(n, -1);
+    int next = 0;
+    for (int u = 0; u < n; ++u) {
+        if (id[u] != -1)
+            continue;
+        id[u] = next;
+        for (int v = u + 1; v < n; ++v) {
+            if (reach[u][v] && reach[v][u])
+                id[v] = next;
+        }
+        ++next;
+    }
+    return id;
+}
+
+TEST(SccProperty, MatchesBruteForceOnRandomGraphs)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 60; ++trial) {
+        int n = 1 + static_cast<int>(rng.nextBelow(14));
+        Digraph g(n);
+        for (int u = 0; u < n; ++u) {
+            for (int v = 0; v < n; ++v) {
+                if (u != v && rng.nextBool(0.18))
+                    g.addEdge(u, v);
+            }
+        }
+        auto sccs = computeSccs(g);
+        auto brute = bruteSccIds(g);
+        // Same partition: nodes share a component iff brute agrees.
+        for (int u = 0; u < n; ++u) {
+            for (int v = 0; v < n; ++v) {
+                ASSERT_EQ(sccs.component[u] == sccs.component[v],
+                          brute[u] == brute[v])
+                    << "trial " << trial << " nodes " << u << "," << v;
+            }
+        }
+        // Component numbering must topologically order the condensation.
+        for (int u = 0; u < n; ++u) {
+            for (NodeId v : g.succs(u)) {
+                ASSERT_LE(sccs.component[u], sccs.component[v]);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace gmt

@@ -1,0 +1,79 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("Demo");
+    t.setHeader({"Benchmark", "Value"});
+    t.addRow({"ks", "73.7"});
+    t.addRow({"adpcmdec", "12.0"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("Benchmark"), std::string::npos);
+    EXPECT_NE(out.find("ks"), std::string::npos);
+    EXPECT_NE(out.find("73.7"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, FmtFixedPoint)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, PctSigned)
+{
+    EXPECT_EQ(Table::pct(-0.344, 1), "-34.4%");
+    EXPECT_EQ(Table::pct(0.156, 1), "+15.6%");
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t("t");
+    t.setHeader({"name", "n"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "100"});
+    std::ostringstream os;
+    t.print(os);
+    // Every rendered line between rules must have the same length.
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line); // title
+    size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+} // namespace
+} // namespace gmt

@@ -1,0 +1,162 @@
+#include "testgen.hpp"
+
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/** Recursive structured generator. */
+class Generator
+{
+  public:
+    Generator(Rng &rng, const TestGenOptions &opts)
+        : rng_(rng), opts_(opts), builder_("randprog")
+    {
+    }
+
+    GeneratedProgram
+    run()
+    {
+        // Pool registers; the first two are params.
+        pool_.push_back(builder_.param());
+        pool_.push_back(builder_.param());
+        BlockId entry = builder_.newBlock("entry");
+        builder_.setBlock(entry);
+        for (int i = 2; i < opts_.pool_regs; ++i) {
+            pool_.push_back(
+                builder_.constI(rng_.nextRange(-10, 10)));
+        }
+        emitSequence(opts_.max_depth);
+        builder_.ret(pool_);
+
+        GeneratedProgram prog{builder_.finish(), 0, opts_.array_cells};
+        verifyOrDie(prog.func);
+        return prog;
+    }
+
+  private:
+    Reg
+    randomPool()
+    {
+        return pool_[rng_.nextBelow(pool_.size())];
+    }
+
+    /** addr = |reg| % cells  (always in bounds). */
+    Reg
+    emitAddress()
+    {
+        Reg v = builder_.abs(randomPool());
+        Reg cells = builder_.constI(opts_.array_cells);
+        return builder_.rem(v, cells);
+    }
+
+    AliasClass
+    randomAlias()
+    {
+        // 0 is kAliasAny; 1..N are distinct classes.
+        return static_cast<AliasClass>(
+            rng_.nextBelow(opts_.num_alias_classes + 1));
+    }
+
+    void
+    emitSimpleStmt()
+    {
+        if (rng_.nextDouble() < opts_.mem_prob) {
+            if (rng_.nextBool()) {
+                Reg addr = emitAddress();
+                builder_.loadInto(randomPool(), addr, 0, randomAlias());
+            } else {
+                Reg addr = emitAddress();
+                builder_.store(addr, 0, randomPool(), randomAlias());
+            }
+            return;
+        }
+        static const Opcode kOps[] = {Opcode::Add, Opcode::Sub,
+                                      Opcode::Mul, Opcode::And,
+                                      Opcode::Or,  Opcode::Xor,
+                                      Opcode::Min, Opcode::Max,
+                                      Opcode::CmpLt};
+        Opcode op = kOps[rng_.nextBelow(std::size(kOps))];
+        builder_.binopInto(op, randomPool(), randomPool(), randomPool());
+    }
+
+    void
+    emitSequence(int depth)
+    {
+        int n = 1 + static_cast<int>(rng_.nextBelow(opts_.max_stmts));
+        for (int i = 0; i < n; ++i) {
+            double roll = rng_.nextDouble();
+            if (depth > 0 && roll < 0.2) {
+                emitIf(depth - 1);
+            } else if (depth > 0 && roll < 0.35) {
+                emitWhile(depth - 1);
+            } else {
+                emitSimpleStmt();
+            }
+        }
+    }
+
+    void
+    emitIf(int depth)
+    {
+        Reg cond = builder_.cmpLt(randomPool(), randomPool());
+        BlockId then_b = builder_.newBlock("then");
+        BlockId else_b = builder_.newBlock("else");
+        BlockId join_b = builder_.newBlock("join");
+        builder_.br(cond, then_b, else_b);
+        builder_.setBlock(then_b);
+        emitSequence(depth);
+        builder_.jmp(join_b);
+        builder_.setBlock(else_b);
+        if (rng_.nextBool())
+            emitSequence(depth);
+        builder_.jmp(join_b);
+        builder_.setBlock(join_b);
+    }
+
+    void
+    emitWhile(int depth)
+    {
+        // Data-dependent but bounded trip count: |pool| % max_trips.
+        Reg v = builder_.abs(randomPool());
+        Reg bound = builder_.constI(opts_.max_loop_trips);
+        Reg counter = builder_.mov(builder_.rem(v, bound));
+
+        BlockId head = builder_.newBlock("whead");
+        BlockId body = builder_.newBlock("wbody");
+        BlockId exit = builder_.newBlock("wexit");
+        builder_.jmp(head);
+        builder_.setBlock(head);
+        Reg zero = builder_.constI(0);
+        Reg cond = builder_.cmpGt(counter, zero);
+        builder_.br(cond, body, exit);
+        builder_.setBlock(body);
+        emitSequence(depth);
+        Reg one = builder_.constI(1);
+        builder_.binopInto(Opcode::Sub, counter, counter, one);
+        builder_.jmp(head);
+        builder_.setBlock(exit);
+    }
+
+    Rng &rng_;
+    TestGenOptions opts_;
+    FunctionBuilder builder_;
+    std::vector<Reg> pool_;
+};
+
+} // namespace
+
+GeneratedProgram
+generateProgram(Rng &rng, const TestGenOptions &opts)
+{
+    Generator gen(rng, opts);
+    return gen.run();
+}
+
+} // namespace gmt
