@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_comm_latency.dir/ablate_comm_latency.cpp.o"
+  "CMakeFiles/ablate_comm_latency.dir/ablate_comm_latency.cpp.o.d"
+  "ablate_comm_latency"
+  "ablate_comm_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_comm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_multicut.dir/ablate_multicut.cpp.o"
+  "CMakeFiles/ablate_multicut.dir/ablate_multicut.cpp.o.d"
+  "ablate_multicut"
+  "ablate_multicut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_multicut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_penalties.dir/ablate_penalties.cpp.o"
+  "CMakeFiles/ablate_penalties.dir/ablate_penalties.cpp.o.d"
+  "ablate_penalties"
+  "ablate_penalties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_profile.dir/ablate_profile.cpp.o"
+  "CMakeFiles/ablate_profile.dir/ablate_profile.cpp.o.d"
+  "ablate_profile"
+  "ablate_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

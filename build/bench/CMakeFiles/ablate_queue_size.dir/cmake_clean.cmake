@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_queue_size.dir/ablate_queue_size.cpp.o"
+  "CMakeFiles/ablate_queue_size.dir/ablate_queue_size.cpp.o.d"
+  "ablate_queue_size"
+  "ablate_queue_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_queue_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_machine.dir/fig6a_machine.cpp.o"
+  "CMakeFiles/fig6a_machine.dir/fig6a_machine.cpp.o.d"
+  "fig6a_machine"
+  "fig6a_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

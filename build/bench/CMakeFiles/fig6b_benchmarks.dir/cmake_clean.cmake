@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_benchmarks.dir/fig6b_benchmarks.cpp.o"
+  "CMakeFiles/fig6b_benchmarks.dir/fig6b_benchmarks.cpp.o.d"
+  "fig6b_benchmarks"
+  "fig6b_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

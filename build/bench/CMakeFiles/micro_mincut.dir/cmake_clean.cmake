@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mincut.dir/micro_mincut.cpp.o"
+  "CMakeFiles/micro_mincut.dir/micro_mincut.cpp.o.d"
+  "micro_mincut"
+  "micro_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

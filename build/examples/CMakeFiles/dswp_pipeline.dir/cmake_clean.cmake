@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dswp_pipeline.dir/dswp_pipeline.cpp.o"
+  "CMakeFiles/dswp_pipeline.dir/dswp_pipeline.cpp.o.d"
+  "dswp_pipeline"
+  "dswp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dswp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremio_scheduling.dir/gremio_scheduling.cpp.o"
+  "CMakeFiles/gremio_scheduling.dir/gremio_scheduling.cpp.o.d"
+  "gremio_scheduling"
+  "gremio_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremio_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mincut_placement.dir/mincut_placement.cpp.o"
+  "CMakeFiles/mincut_placement.dir/mincut_placement.cpp.o.d"
+  "mincut_placement"
+  "mincut_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mincut_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/control_dep.cpp" "src/CMakeFiles/gmt_analysis.dir/analysis/control_dep.cpp.o" "gcc" "src/CMakeFiles/gmt_analysis.dir/analysis/control_dep.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/CMakeFiles/gmt_analysis.dir/analysis/dominators.cpp.o" "gcc" "src/CMakeFiles/gmt_analysis.dir/analysis/dominators.cpp.o.d"
+  "/root/repo/src/analysis/edge_profile.cpp" "src/CMakeFiles/gmt_analysis.dir/analysis/edge_profile.cpp.o" "gcc" "src/CMakeFiles/gmt_analysis.dir/analysis/edge_profile.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/CMakeFiles/gmt_analysis.dir/analysis/liveness.cpp.o" "gcc" "src/CMakeFiles/gmt_analysis.dir/analysis/liveness.cpp.o.d"
+  "/root/repo/src/analysis/loop_info.cpp" "src/CMakeFiles/gmt_analysis.dir/analysis/loop_info.cpp.o" "gcc" "src/CMakeFiles/gmt_analysis.dir/analysis/loop_info.cpp.o.d"
+  "/root/repo/src/analysis/mem_dep.cpp" "src/CMakeFiles/gmt_analysis.dir/analysis/mem_dep.cpp.o" "gcc" "src/CMakeFiles/gmt_analysis.dir/analysis/mem_dep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_analysis.dir/analysis/control_dep.cpp.o"
+  "CMakeFiles/gmt_analysis.dir/analysis/control_dep.cpp.o.d"
+  "CMakeFiles/gmt_analysis.dir/analysis/dominators.cpp.o"
+  "CMakeFiles/gmt_analysis.dir/analysis/dominators.cpp.o.d"
+  "CMakeFiles/gmt_analysis.dir/analysis/edge_profile.cpp.o"
+  "CMakeFiles/gmt_analysis.dir/analysis/edge_profile.cpp.o.d"
+  "CMakeFiles/gmt_analysis.dir/analysis/liveness.cpp.o"
+  "CMakeFiles/gmt_analysis.dir/analysis/liveness.cpp.o.d"
+  "CMakeFiles/gmt_analysis.dir/analysis/loop_info.cpp.o"
+  "CMakeFiles/gmt_analysis.dir/analysis/loop_info.cpp.o.d"
+  "CMakeFiles/gmt_analysis.dir/analysis/mem_dep.cpp.o"
+  "CMakeFiles/gmt_analysis.dir/analysis/mem_dep.cpp.o.d"
+  "libgmt_analysis.a"
+  "libgmt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coco/coco.cpp" "src/CMakeFiles/gmt_coco.dir/coco/coco.cpp.o" "gcc" "src/CMakeFiles/gmt_coco.dir/coco/coco.cpp.o.d"
+  "/root/repo/src/coco/flow_graph.cpp" "src/CMakeFiles/gmt_coco.dir/coco/flow_graph.cpp.o" "gcc" "src/CMakeFiles/gmt_coco.dir/coco/flow_graph.cpp.o.d"
+  "/root/repo/src/coco/relevant.cpp" "src/CMakeFiles/gmt_coco.dir/coco/relevant.cpp.o" "gcc" "src/CMakeFiles/gmt_coco.dir/coco/relevant.cpp.o.d"
+  "/root/repo/src/coco/safety.cpp" "src/CMakeFiles/gmt_coco.dir/coco/safety.cpp.o" "gcc" "src/CMakeFiles/gmt_coco.dir/coco/safety.cpp.o.d"
+  "/root/repo/src/coco/thread_liveness.cpp" "src/CMakeFiles/gmt_coco.dir/coco/thread_liveness.cpp.o" "gcc" "src/CMakeFiles/gmt_coco.dir/coco/thread_liveness.cpp.o.d"
+  "/root/repo/src/coco/validate.cpp" "src/CMakeFiles/gmt_coco.dir/coco/validate.cpp.o" "gcc" "src/CMakeFiles/gmt_coco.dir/coco/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_mtcg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_coco.dir/coco/coco.cpp.o"
+  "CMakeFiles/gmt_coco.dir/coco/coco.cpp.o.d"
+  "CMakeFiles/gmt_coco.dir/coco/flow_graph.cpp.o"
+  "CMakeFiles/gmt_coco.dir/coco/flow_graph.cpp.o.d"
+  "CMakeFiles/gmt_coco.dir/coco/relevant.cpp.o"
+  "CMakeFiles/gmt_coco.dir/coco/relevant.cpp.o.d"
+  "CMakeFiles/gmt_coco.dir/coco/safety.cpp.o"
+  "CMakeFiles/gmt_coco.dir/coco/safety.cpp.o.d"
+  "CMakeFiles/gmt_coco.dir/coco/thread_liveness.cpp.o"
+  "CMakeFiles/gmt_coco.dir/coco/thread_liveness.cpp.o.d"
+  "CMakeFiles/gmt_coco.dir/coco/validate.cpp.o"
+  "CMakeFiles/gmt_coco.dir/coco/validate.cpp.o.d"
+  "libgmt_coco.a"
+  "libgmt_coco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_coco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

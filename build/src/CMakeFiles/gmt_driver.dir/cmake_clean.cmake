@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_driver.dir/driver/pipeline.cpp.o"
+  "CMakeFiles/gmt_driver.dir/driver/pipeline.cpp.o.d"
+  "CMakeFiles/gmt_driver.dir/driver/report.cpp.o"
+  "CMakeFiles/gmt_driver.dir/driver/report.cpp.o.d"
+  "libgmt_driver.a"
+  "libgmt_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/gmt_graph.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/gmt_graph.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/max_flow.cpp" "src/CMakeFiles/gmt_graph.dir/graph/max_flow.cpp.o" "gcc" "src/CMakeFiles/gmt_graph.dir/graph/max_flow.cpp.o.d"
+  "/root/repo/src/graph/multi_cut.cpp" "src/CMakeFiles/gmt_graph.dir/graph/multi_cut.cpp.o" "gcc" "src/CMakeFiles/gmt_graph.dir/graph/multi_cut.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/CMakeFiles/gmt_graph.dir/graph/scc.cpp.o" "gcc" "src/CMakeFiles/gmt_graph.dir/graph/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

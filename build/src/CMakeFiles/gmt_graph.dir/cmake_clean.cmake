@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/gmt_graph.dir/graph/digraph.cpp.o.d"
+  "CMakeFiles/gmt_graph.dir/graph/max_flow.cpp.o"
+  "CMakeFiles/gmt_graph.dir/graph/max_flow.cpp.o.d"
+  "CMakeFiles/gmt_graph.dir/graph/multi_cut.cpp.o"
+  "CMakeFiles/gmt_graph.dir/graph/multi_cut.cpp.o.d"
+  "CMakeFiles/gmt_graph.dir/graph/scc.cpp.o"
+  "CMakeFiles/gmt_graph.dir/graph/scc.cpp.o.d"
+  "libgmt_graph.a"
+  "libgmt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

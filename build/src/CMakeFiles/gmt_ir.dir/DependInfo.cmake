@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/gmt_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/gmt_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/edge_split.cpp" "src/CMakeFiles/gmt_ir.dir/ir/edge_split.cpp.o" "gcc" "src/CMakeFiles/gmt_ir.dir/ir/edge_split.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/gmt_ir.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/gmt_ir.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instr.cpp" "src/CMakeFiles/gmt_ir.dir/ir/instr.cpp.o" "gcc" "src/CMakeFiles/gmt_ir.dir/ir/instr.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/gmt_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/gmt_ir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/gmt_ir.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/gmt_ir.dir/ir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

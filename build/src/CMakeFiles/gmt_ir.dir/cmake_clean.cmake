@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/gmt_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/gmt_ir.dir/ir/edge_split.cpp.o"
+  "CMakeFiles/gmt_ir.dir/ir/edge_split.cpp.o.d"
+  "CMakeFiles/gmt_ir.dir/ir/function.cpp.o"
+  "CMakeFiles/gmt_ir.dir/ir/function.cpp.o.d"
+  "CMakeFiles/gmt_ir.dir/ir/instr.cpp.o"
+  "CMakeFiles/gmt_ir.dir/ir/instr.cpp.o.d"
+  "CMakeFiles/gmt_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/gmt_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/gmt_ir.dir/ir/verifier.cpp.o"
+  "CMakeFiles/gmt_ir.dir/ir/verifier.cpp.o.d"
+  "libgmt_ir.a"
+  "libgmt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

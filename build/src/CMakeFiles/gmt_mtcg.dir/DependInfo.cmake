@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtcg/comm_plan.cpp" "src/CMakeFiles/gmt_mtcg.dir/mtcg/comm_plan.cpp.o" "gcc" "src/CMakeFiles/gmt_mtcg.dir/mtcg/comm_plan.cpp.o.d"
+  "/root/repo/src/mtcg/mtcg.cpp" "src/CMakeFiles/gmt_mtcg.dir/mtcg/mtcg.cpp.o" "gcc" "src/CMakeFiles/gmt_mtcg.dir/mtcg/mtcg.cpp.o.d"
+  "/root/repo/src/mtcg/queue_alloc.cpp" "src/CMakeFiles/gmt_mtcg.dir/mtcg/queue_alloc.cpp.o" "gcc" "src/CMakeFiles/gmt_mtcg.dir/mtcg/queue_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

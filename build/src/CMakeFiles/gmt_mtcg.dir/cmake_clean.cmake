@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_mtcg.dir/mtcg/comm_plan.cpp.o"
+  "CMakeFiles/gmt_mtcg.dir/mtcg/comm_plan.cpp.o.d"
+  "CMakeFiles/gmt_mtcg.dir/mtcg/mtcg.cpp.o"
+  "CMakeFiles/gmt_mtcg.dir/mtcg/mtcg.cpp.o.d"
+  "CMakeFiles/gmt_mtcg.dir/mtcg/queue_alloc.cpp.o"
+  "CMakeFiles/gmt_mtcg.dir/mtcg/queue_alloc.cpp.o.d"
+  "libgmt_mtcg.a"
+  "libgmt_mtcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_mtcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gmt_mtcg.
+# This may be replaced when dependencies are built.

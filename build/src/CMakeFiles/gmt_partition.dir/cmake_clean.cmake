@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_partition.dir/partition/dswp.cpp.o"
+  "CMakeFiles/gmt_partition.dir/partition/dswp.cpp.o.d"
+  "CMakeFiles/gmt_partition.dir/partition/gremio.cpp.o"
+  "CMakeFiles/gmt_partition.dir/partition/gremio.cpp.o.d"
+  "CMakeFiles/gmt_partition.dir/partition/partition.cpp.o"
+  "CMakeFiles/gmt_partition.dir/partition/partition.cpp.o.d"
+  "libgmt_partition.a"
+  "libgmt_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

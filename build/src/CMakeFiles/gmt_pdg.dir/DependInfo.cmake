@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdg/pdg.cpp" "src/CMakeFiles/gmt_pdg.dir/pdg/pdg.cpp.o" "gcc" "src/CMakeFiles/gmt_pdg.dir/pdg/pdg.cpp.o.d"
+  "/root/repo/src/pdg/pdg_builder.cpp" "src/CMakeFiles/gmt_pdg.dir/pdg/pdg_builder.cpp.o" "gcc" "src/CMakeFiles/gmt_pdg.dir/pdg/pdg_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_pdg.dir/pdg/pdg.cpp.o"
+  "CMakeFiles/gmt_pdg.dir/pdg/pdg.cpp.o.d"
+  "CMakeFiles/gmt_pdg.dir/pdg/pdg_builder.cpp.o"
+  "CMakeFiles/gmt_pdg.dir/pdg/pdg_builder.cpp.o.d"
+  "libgmt_pdg.a"
+  "libgmt_pdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_pdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/interpreter.cpp" "src/CMakeFiles/gmt_runtime.dir/runtime/interpreter.cpp.o" "gcc" "src/CMakeFiles/gmt_runtime.dir/runtime/interpreter.cpp.o.d"
+  "/root/repo/src/runtime/memory_image.cpp" "src/CMakeFiles/gmt_runtime.dir/runtime/memory_image.cpp.o" "gcc" "src/CMakeFiles/gmt_runtime.dir/runtime/memory_image.cpp.o.d"
+  "/root/repo/src/runtime/mt_interpreter.cpp" "src/CMakeFiles/gmt_runtime.dir/runtime/mt_interpreter.cpp.o" "gcc" "src/CMakeFiles/gmt_runtime.dir/runtime/mt_interpreter.cpp.o.d"
+  "/root/repo/src/runtime/sync_array.cpp" "src/CMakeFiles/gmt_runtime.dir/runtime/sync_array.cpp.o" "gcc" "src/CMakeFiles/gmt_runtime.dir/runtime/sync_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

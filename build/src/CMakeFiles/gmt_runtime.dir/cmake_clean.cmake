@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_runtime.dir/runtime/interpreter.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/runtime/interpreter.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/runtime/memory_image.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/runtime/memory_image.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/runtime/mt_interpreter.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/runtime/mt_interpreter.cpp.o.d"
+  "CMakeFiles/gmt_runtime.dir/runtime/sync_array.cpp.o"
+  "CMakeFiles/gmt_runtime.dir/runtime/sync_array.cpp.o.d"
+  "libgmt_runtime.a"
+  "libgmt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

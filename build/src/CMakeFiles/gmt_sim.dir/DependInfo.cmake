@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/gmt_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/gmt_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cmp_simulator.cpp" "src/CMakeFiles/gmt_sim.dir/sim/cmp_simulator.cpp.o" "gcc" "src/CMakeFiles/gmt_sim.dir/sim/cmp_simulator.cpp.o.d"
+  "/root/repo/src/sim/machine_config.cpp" "src/CMakeFiles/gmt_sim.dir/sim/machine_config.cpp.o" "gcc" "src/CMakeFiles/gmt_sim.dir/sim/machine_config.cpp.o.d"
+  "/root/repo/src/sim/sync_array_timing.cpp" "src/CMakeFiles/gmt_sim.dir/sim/sync_array_timing.cpp.o" "gcc" "src/CMakeFiles/gmt_sim.dir/sim/sync_array_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

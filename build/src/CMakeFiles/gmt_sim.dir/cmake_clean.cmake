@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/gmt_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/sim/cmp_simulator.cpp.o"
+  "CMakeFiles/gmt_sim.dir/sim/cmp_simulator.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/sim/machine_config.cpp.o"
+  "CMakeFiles/gmt_sim.dir/sim/machine_config.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/sim/sync_array_timing.cpp.o"
+  "CMakeFiles/gmt_sim.dir/sim/sync_array_timing.cpp.o.d"
+  "libgmt_sim.a"
+  "libgmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

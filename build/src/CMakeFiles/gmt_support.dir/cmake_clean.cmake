@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_support.dir/support/bit_vector.cpp.o"
+  "CMakeFiles/gmt_support.dir/support/bit_vector.cpp.o.d"
+  "CMakeFiles/gmt_support.dir/support/rng.cpp.o"
+  "CMakeFiles/gmt_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/gmt_support.dir/support/table.cpp.o"
+  "CMakeFiles/gmt_support.dir/support/table.cpp.o.d"
+  "libgmt_support.a"
+  "libgmt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

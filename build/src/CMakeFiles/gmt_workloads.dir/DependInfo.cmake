@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adpcm_dec.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/adpcm_dec.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/adpcm_dec.cpp.o.d"
+  "/root/repo/src/workloads/adpcm_enc.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/adpcm_enc.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/adpcm_enc.cpp.o.d"
+  "/root/repo/src/workloads/ammp.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/ammp.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/ammp.cpp.o.d"
+  "/root/repo/src/workloads/equake.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/equake.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/equake.cpp.o.d"
+  "/root/repo/src/workloads/gromacs.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/gromacs.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/gromacs.cpp.o.d"
+  "/root/repo/src/workloads/ks.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/ks.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/ks.cpp.o.d"
+  "/root/repo/src/workloads/mcf.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/mcf.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/mcf.cpp.o.d"
+  "/root/repo/src/workloads/mesa.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/mesa.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/mesa.cpp.o.d"
+  "/root/repo/src/workloads/mpeg2enc.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/mpeg2enc.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/mpeg2enc.cpp.o.d"
+  "/root/repo/src/workloads/sjeng.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/sjeng.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/sjeng.cpp.o.d"
+  "/root/repo/src/workloads/twolf.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/twolf.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/twolf.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/gmt_workloads.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/gmt_workloads.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gmt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_workloads.dir/workloads/adpcm_dec.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/adpcm_dec.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/adpcm_enc.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/adpcm_enc.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/ammp.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/ammp.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/equake.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/equake.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/gromacs.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/gromacs.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/ks.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/ks.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/mcf.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/mcf.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/mesa.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/mesa.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/mpeg2enc.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/mpeg2enc.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/sjeng.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/sjeng.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/twolf.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/twolf.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/workloads/workload.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/workloads/workload.cpp.o.d"
+  "libgmt_workloads.a"
+  "libgmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

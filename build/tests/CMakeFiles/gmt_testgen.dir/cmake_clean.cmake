@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_testgen.dir/testgen.cpp.o"
+  "CMakeFiles/gmt_testgen.dir/testgen.cpp.o.d"
+  "libgmt_testgen.a"
+  "libgmt_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

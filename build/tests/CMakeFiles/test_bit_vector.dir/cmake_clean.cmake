@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_vector.dir/test_bit_vector.cpp.o"
+  "CMakeFiles/test_bit_vector.dir/test_bit_vector.cpp.o.d"
+  "test_bit_vector"
+  "test_bit_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

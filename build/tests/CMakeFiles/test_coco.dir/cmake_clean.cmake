@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coco.dir/test_coco.cpp.o"
+  "CMakeFiles/test_coco.dir/test_coco.cpp.o.d"
+  "test_coco"
+  "test_coco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coco_analyses.dir/test_coco_analyses.cpp.o"
+  "CMakeFiles/test_coco_analyses.dir/test_coco_analyses.cpp.o.d"
+  "test_coco_analyses"
+  "test_coco_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coco_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_cut.dir/test_multi_cut.cpp.o"
+  "CMakeFiles/test_multi_cut.dir/test_multi_cut.cpp.o.d"
+  "test_multi_cut"
+  "test_multi_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

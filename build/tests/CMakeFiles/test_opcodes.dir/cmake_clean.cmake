@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opcodes.dir/test_opcodes.cpp.o"
+  "CMakeFiles/test_opcodes.dir/test_opcodes.cpp.o.d"
+  "test_opcodes"
+  "test_opcodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

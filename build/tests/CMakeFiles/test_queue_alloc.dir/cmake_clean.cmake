@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_alloc.dir/test_queue_alloc.cpp.o"
+  "CMakeFiles/test_queue_alloc.dir/test_queue_alloc.cpp.o.d"
+  "test_queue_alloc"
+  "test_queue_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
