@@ -5,36 +5,51 @@
  * shows how quickly the extracted thread-level parallelism erodes as
  * the communication substrate slows down — the motivation for the
  * low-latency hardware queues GMT scheduling assumes.
+ *
+ * All latency cells of a workload share every artifact through
+ * mt-run (only the sim pass sees the machine config), so the cached
+ * runner regenerates nothing between sweep points.
  */
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/bench_harness.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
     const int latencies[] = {1, 2, 4, 8, 16};
+    const size_t nl = std::size(latencies);
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
+        for (int l : latencies) {
+            PipelineOptions opts;
+            opts.scheduler = Scheduler::Dswp;
+            opts.use_coco = true;
+            opts.machine.sa_latency = l;
+            cells.push_back({w, opts});
+        }
+    }
+    const auto results = harness.runAll(cells);
+
     Table t("Ablation: DSWP+COCO speedup vs sync-array latency");
     std::vector<std::string> header{"Benchmark"};
     for (int l : latencies)
         header.push_back(std::to_string(l) + " cyc");
     t.setHeader(header);
 
-    for (const Workload &w : allWorkloads()) {
-        std::vector<std::string> row{w.name};
-        for (int l : latencies) {
-            PipelineOptions opts;
-            opts.scheduler = Scheduler::Dswp;
-            opts.use_coco = true;
-            opts.machine.sa_latency = l;
-            auto r = runPipeline(w, opts);
-            row.push_back(Table::fmt(r.speedup(), 2) + "x");
-        }
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi].name};
+        for (size_t li = 0; li < nl; ++li)
+            row.push_back(
+                Table::fmt(results[wi * nl + li].speedup(), 2) + "x");
         t.addRow(row);
     }
     t.print(std::cout);

@@ -9,39 +9,55 @@
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/bench_harness.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table t("Ablation: multi-pair memory cut heuristic vs super-pair "
-            "baseline (dynamic memory syncs, both schedulers summed)");
-    t.setHeader({"Benchmark", "MTCG", "COCO multi-pair",
-                 "COCO super-pair"});
-    for (const Workload &w : allWorkloads()) {
-        uint64_t base_sync = 0, multi_sync = 0, super_sync = 0;
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
+
+    // Per workload and scheduler: MTCG baseline, COCO multi-pair,
+    // COCO super-pair (3 variants x 2 schedulers = 6 cells).
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
         for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
             PipelineOptions base;
             base.scheduler = sched;
             base.use_coco = false;
             base.simulate = false;
-            base_sync += runPipeline(w, base).mem_sync;
+            cells.push_back({w, base});
 
             PipelineOptions multi = base;
             multi.use_coco = true;
             multi.coco.multi_pair_memory = true;
-            multi_sync += runPipeline(w, multi).mem_sync;
+            cells.push_back({w, multi});
 
             PipelineOptions super = base;
             super.use_coco = true;
             super.coco.multi_pair_memory = false;
-            super_sync += runPipeline(w, super).mem_sync;
+            cells.push_back({w, super});
         }
-        t.addRow({w.name, std::to_string(base_sync),
+    }
+    const auto results = harness.runAll(cells);
+
+    Table t("Ablation: multi-pair memory cut heuristic vs super-pair "
+            "baseline (dynamic memory syncs, both schedulers summed)");
+    t.setHeader({"Benchmark", "MTCG", "COCO multi-pair",
+                 "COCO super-pair"});
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        uint64_t base_sync = 0, multi_sync = 0, super_sync = 0;
+        for (int si = 0; si < 2; ++si) {
+            size_t at = wi * 6 + si * 3;
+            base_sync += results[at].mem_sync;
+            multi_sync += results[at + 1].mem_sync;
+            super_sync += results[at + 2].mem_sync;
+        }
+        t.addRow({workloads[wi].name, std::to_string(base_sync),
                   std::to_string(multi_sync),
                   std::to_string(super_sync)});
     }

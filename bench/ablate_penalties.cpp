@@ -8,36 +8,45 @@
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
-#include "driver/report.hpp"
+#include "driver/bench_harness.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table t("Ablation: control-flow penalties in COCO's min-cut "
-            "(GREMIO partitions)");
-    t.setHeader({"Benchmark", "Comm (pen on)", "Comm (pen off)",
-                 "ReplBr (pen on)", "ReplBr (pen off)"});
-    uint64_t extra_branches_off = 0, extra_branches_on = 0;
-    for (const Workload &w : allWorkloads()) {
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
         PipelineOptions on;
         on.scheduler = Scheduler::Gremio;
         on.use_coco = true;
         on.simulate = false;
         on.coco.control_flow_penalties = true;
-        auto with_pen = runPipeline(w, on);
+        cells.push_back({w, on});
 
         PipelineOptions off = on;
         off.coco.control_flow_penalties = false;
-        auto without = runPipeline(w, off);
+        cells.push_back({w, off});
+    }
+    const auto results = harness.runAll(cells);
 
+    Table t("Ablation: control-flow penalties in COCO's min-cut "
+            "(GREMIO partitions)");
+    t.setHeader({"Benchmark", "Comm (pen on)", "Comm (pen off)",
+                 "ReplBr (pen on)", "ReplBr (pen off)"});
+    uint64_t extra_branches_off = 0, extra_branches_on = 0;
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const PipelineResult &with_pen = results[wi * 2];
+        const PipelineResult &without = results[wi * 2 + 1];
         extra_branches_on += with_pen.duplicated_branches;
         extra_branches_off += without.duplicated_branches;
-        t.addRow({w.name, std::to_string(with_pen.communication()),
+        t.addRow({workloads[wi].name,
+                  std::to_string(with_pen.communication()),
                   std::to_string(without.communication()),
                   std::to_string(with_pen.duplicated_branches),
                   std::to_string(without.duplicated_branches)});

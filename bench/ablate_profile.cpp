@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/bench_harness.hpp"
 #include "driver/report.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
@@ -17,33 +17,44 @@
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table t("Ablation: COCO driven by train profile vs static "
-            "estimate (relative comm vs MTCG, GREMIO)");
-    t.setHeader({"Benchmark", "train profile", "static estimate"});
-    std::vector<double> train_rel, static_rel;
-    for (const Workload &w : allWorkloads()) {
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
         PipelineOptions base;
         base.scheduler = Scheduler::Gremio;
         base.use_coco = false;
         base.simulate = false;
-        auto mtcg = runPipeline(w, base);
+        cells.push_back({w, base});
 
         PipelineOptions train = base;
         train.use_coco = true;
-        auto with_train = runPipeline(w, train);
+        cells.push_back({w, train});
 
         PipelineOptions stat = base;
         stat.use_coco = true;
         stat.static_profile = true;
-        auto with_static = runPipeline(w, stat);
+        cells.push_back({w, stat});
+    }
+    const auto results = harness.runAll(cells);
+
+    Table t("Ablation: COCO driven by train profile vs static "
+            "estimate (relative comm vs MTCG, GREMIO)");
+    t.setHeader({"Benchmark", "train profile", "static estimate"});
+    std::vector<double> train_rel, static_rel;
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const PipelineResult &mtcg = results[wi * 3];
+        const PipelineResult &with_train = results[wi * 3 + 1];
+        const PipelineResult &with_static = results[wi * 3 + 2];
 
         double tr = 100.0 * relativeComm(with_train, mtcg);
         double st = 100.0 * relativeComm(with_static, mtcg);
         train_rel.push_back(tr);
         static_rel.push_back(st);
-        t.addRow({w.name, Table::fmt(tr, 1) + "%",
+        t.addRow({workloads[wi].name, Table::fmt(tr, 1) + "%",
                   Table::fmt(st, 1) + "%"});
     }
     t.addSeparator();

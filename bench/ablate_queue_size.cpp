@@ -8,32 +8,43 @@
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/bench_harness.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
     const int depths[] = {1, 2, 4, 8, 32, 64};
+    const size_t nd = std::size(depths);
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
+        for (int d : depths) {
+            PipelineOptions opts;
+            opts.scheduler = Scheduler::Dswp;
+            opts.use_coco = true;
+            opts.queue_capacity = d;
+            cells.push_back({w, opts});
+        }
+    }
+    const auto results = harness.runAll(cells);
+
     Table t("Ablation: DSWP+COCO speedup vs queue depth");
     std::vector<std::string> header{"Benchmark"};
     for (int d : depths)
         header.push_back("depth " + std::to_string(d));
     t.setHeader(header);
 
-    for (const Workload &w : allWorkloads()) {
-        std::vector<std::string> row{w.name};
-        for (int d : depths) {
-            PipelineOptions opts;
-            opts.scheduler = Scheduler::Dswp;
-            opts.use_coco = true;
-            opts.queue_capacity = d;
-            auto r = runPipeline(w, opts);
-            row.push_back(Table::fmt(r.speedup(), 2) + "x");
-        }
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi].name};
+        for (size_t di = 0; di < nd; ++di)
+            row.push_back(
+                Table::fmt(results[wi * nd + di].speedup(), 2) + "x");
         t.addRow(row);
     }
     t.print(std::cout);

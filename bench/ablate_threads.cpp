@@ -11,7 +11,7 @@
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/bench_harness.hpp"
 #include "driver/report.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
@@ -19,15 +19,13 @@
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table t("Ablation: GREMIO thread-count scaling "
-            "(comm share under MTCG | relative comm after COCO)");
-    t.setHeader({"Benchmark", "2T share", "2T COCO", "3T share",
-                 "3T COCO", "4T share", "4T COCO"});
-    std::vector<std::vector<double>> shares(3), rels(3);
-    for (const Workload &w : allWorkloads()) {
-        std::vector<std::string> row{w.name};
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
         for (int nt = 2; nt <= 4; ++nt) {
             PipelineOptions base;
             base.scheduler = Scheduler::Gremio;
@@ -35,11 +33,26 @@ main()
             base.machine.num_cores = nt;
             base.use_coco = false;
             base.simulate = false;
-            auto mtcg = runPipeline(w, base);
+            cells.push_back({w, base});
 
             PipelineOptions opt = base;
             opt.use_coco = true;
-            auto coco = runPipeline(w, opt);
+            cells.push_back({w, opt});
+        }
+    }
+    const auto results = harness.runAll(cells);
+
+    Table t("Ablation: GREMIO thread-count scaling "
+            "(comm share under MTCG | relative comm after COCO)");
+    t.setHeader({"Benchmark", "2T share", "2T COCO", "3T share",
+                 "3T COCO", "4T share", "4T COCO"});
+    std::vector<std::vector<double>> shares(3), rels(3);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi].name};
+        for (int nt = 2; nt <= 4; ++nt) {
+            size_t at = wi * 6 + static_cast<size_t>(nt - 2) * 2;
+            const PipelineResult &mtcg = results[at];
+            const PipelineResult &coco = results[at + 1];
 
             double share =
                 mtcg.total() ? 100.0 *

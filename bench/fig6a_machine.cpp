@@ -1,15 +1,19 @@
 /**
  * @file
  * Reproduces paper Figure 6(a): the simulated machine configuration.
+ * Accepts the shared bench flags for harness uniformity (they have
+ * nothing to run here).
  */
 
 #include <iostream>
 
+#include "driver/bench_harness.hpp"
 #include "sim/machine_config.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    gmt::parseBenchOptions(argc, argv);
     gmt::MachineConfig::paperDefault().print(std::cout);
     return 0;
 }

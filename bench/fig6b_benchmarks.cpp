@@ -2,23 +2,27 @@
  * @file
  * Reproduces paper Figure 6(b): the selected benchmark functions and
  * their share of benchmark execution, plus the size of each kernel's
- * IR in this reproduction.
+ * IR in this reproduction. Takes the shared bench flags (--only
+ * filters the rows; the run flags are accepted for uniformity).
  */
 
 #include <iostream>
 
+#include "driver/bench_harness.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness harness(argc, argv);
+
     Table t("Figure 6(b): selected benchmark functions");
     t.setHeader({"Benchmark", "Function", "Exec. %", "IR blocks",
                  "IR instrs"});
-    for (const Workload &w : allWorkloads()) {
+    for (const Workload &w : harness.workloads()) {
         t.addRow({w.name, w.function_name,
                   std::to_string(w.exec_percent),
                   std::to_string(w.func.numBlocks()),

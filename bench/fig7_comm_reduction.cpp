@@ -7,11 +7,14 @@
  * paper quotes (GREMIO -34.4%, DSWP -23.8%, ks+GREMIO -73.7%) and the
  * memory-synchronization removal for the benchmarks that have
  * inter-thread memory dependences (paper: >99% removed).
+ *
+ * Cells run through the parallel, artifact-cached experiment runner
+ * (see --help for the shared bench flags, e.g. --stats fig7.jsonl).
  */
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/bench_harness.hpp"
 #include "driver/report.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
@@ -19,31 +22,43 @@
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
+
+    // Grid: per workload, (GREMIO, DSWP) x (MTCG, COCO). The COCO
+    // cell shares every artifact through `partition` with its MTCG
+    // sibling, so the cache computes those stages once.
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
+        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
+            for (bool coco : {false, true}) {
+                PipelineOptions opts;
+                opts.scheduler = sched;
+                opts.use_coco = coco;
+                opts.simulate = false;
+                cells.push_back({w, opts});
+            }
+        }
+    }
+    const auto results = harness.runAll(cells);
+
     Table t("Figure 7: dynamic communication after COCO, relative to "
             "MTCG (100% = unchanged)");
     t.setHeader({"Benchmark", "GREMIO", "DSWP", "GREMIO mem syncs",
                  "DSWP mem syncs"});
 
     std::vector<double> gremio_rel, dswp_rel;
-    for (const Workload &w : allWorkloads()) {
-        std::vector<std::string> row{w.name};
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi].name};
         std::vector<std::string> mem_cols;
-        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
-            PipelineOptions base;
-            base.scheduler = sched;
-            base.use_coco = false;
-            base.simulate = false;
-            auto mtcg = runPipeline(w, base);
-
-            PipelineOptions opt = base;
-            opt.use_coco = true;
-            auto coco = runPipeline(w, opt);
+        for (int si = 0; si < 2; ++si) {
+            const PipelineResult &mtcg = results[wi * 4 + si * 2];
+            const PipelineResult &coco = results[wi * 4 + si * 2 + 1];
 
             double rel = 100.0 * relativeComm(coco, mtcg);
-            (sched == Scheduler::Gremio ? gremio_rel : dswp_rel)
-                .push_back(rel / 100.0);
+            (si == 0 ? gremio_rel : dswp_rel).push_back(rel / 100.0);
             row.push_back(Table::fmt(rel, 1) + "%");
 
             if (mtcg.mem_sync > 0) {

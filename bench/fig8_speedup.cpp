@@ -5,11 +5,15 @@
  * the timing simulator relative to the single-threaded run of the
  * same kernel on one core, plus the average improvements the paper
  * quotes (GREMIO +15.6%, DSWP +2.7%, ks + GREMIO +47.6%).
+ *
+ * Cells run through the parallel, artifact-cached experiment runner;
+ * the single-threaded baseline simulation is one shared artifact per
+ * workload instead of four redundant runs.
  */
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/bench_harness.hpp"
 #include "driver/report.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
@@ -17,32 +21,39 @@
 using namespace gmt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness harness(argc, argv);
+    const auto workloads = harness.workloads();
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
+        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
+            for (bool coco : {false, true}) {
+                PipelineOptions opts;
+                opts.scheduler = sched;
+                opts.use_coco = coco;
+                cells.push_back({w, opts});
+            }
+        }
+    }
+    const auto results = harness.runAll(cells);
+
     Table t("Figure 8: speedup over single-threaded execution "
             "(reference inputs)");
     t.setHeader({"Benchmark", "GREMIO", "GREMIO+COCO", "DSWP",
                  "DSWP+COCO"});
 
     std::vector<double> improvements[2]; // [0]=GREMIO, [1]=DSWP
-    for (const Workload &w : allWorkloads()) {
-        std::vector<std::string> row{w.name};
-        int idx = 0;
-        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
-            PipelineOptions base;
-            base.scheduler = sched;
-            base.use_coco = false;
-            auto mtcg = runPipeline(w, base);
-
-            PipelineOptions opt = base;
-            opt.use_coco = true;
-            auto coco = runPipeline(w, opt);
-
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi].name};
+        for (int si = 0; si < 2; ++si) {
+            const PipelineResult &mtcg = results[wi * 4 + si * 2];
+            const PipelineResult &coco = results[wi * 4 + si * 2 + 1];
             row.push_back(Table::fmt(mtcg.speedup(), 2) + "x");
             row.push_back(Table::fmt(coco.speedup(), 2) + "x");
-            improvements[idx].push_back(coco.speedup() /
-                                        mtcg.speedup());
-            ++idx;
+            improvements[si].push_back(coco.speedup() /
+                                       mtcg.speedup());
         }
         t.addRow(row);
     }

@@ -5,7 +5,9 @@
  * and notes that faster algorithms (preflow-push) exist if
  * compilation time matters; this compares Edmonds-Karp, Dinic, and
  * FIFO push-relabel on CFG-shaped flow graphs, and measures the
- * whole COCO optimization per benchmark kernel.
+ * whole COCO optimization per benchmark kernel — plus the full pass
+ * pipeline with a cold vs warm ArtifactCache (the cached experiment
+ * runner's per-cell cost).
  */
 
 #include <benchmark/benchmark.h>
@@ -14,6 +16,7 @@
 #include "analysis/dominators.hpp"
 #include "analysis/edge_profile.hpp"
 #include "coco/coco.hpp"
+#include "driver/pass_manager.hpp"
 #include "graph/max_flow.hpp"
 #include "ir/edge_split.hpp"
 #include "partition/gremio.hpp"
@@ -90,6 +93,51 @@ BM_CocoOptimize(benchmark::State &state)
     state.SetLabel(w.name);
 }
 
+/** Full standard pipeline, no artifact reuse (the seed behaviour). */
+void
+BM_PipelineUncached(benchmark::State &state)
+{
+    auto all = allWorkloads();
+    const Workload &w = all[state.range(0)];
+    PipelineOptions opts;
+    opts.scheduler = Scheduler::Gremio;
+    opts.use_coco = true;
+    opts.simulate = false;
+    const PassManager pipeline = PassManager::standardPipeline();
+    for (auto _ : state) {
+        PipelineContext ctx(w, opts);
+        pipeline.run(ctx);
+        benchmark::DoNotOptimize(ctx.result);
+    }
+    state.SetLabel(w.name);
+}
+
+/** Same cell against a warm ArtifactCache (steady-state rerun cost). */
+void
+BM_PipelineCached(benchmark::State &state)
+{
+    auto all = allWorkloads();
+    const Workload &w = all[state.range(0)];
+    PipelineOptions opts;
+    opts.scheduler = Scheduler::Gremio;
+    opts.use_coco = true;
+    opts.simulate = false;
+    const PassManager pipeline = PassManager::standardPipeline();
+    ArtifactCache cache;
+    {
+        PipelineContext warm(w, opts);
+        warm.cache = &cache;
+        pipeline.run(warm);
+    }
+    for (auto _ : state) {
+        PipelineContext ctx(w, opts);
+        ctx.cache = &cache;
+        pipeline.run(ctx);
+        benchmark::DoNotOptimize(ctx.result);
+    }
+    state.SetLabel(w.name);
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_MaxFlow, EdmondsKarp, gmt::FlowAlgorithm::EdmondsKarp)
@@ -106,5 +154,7 @@ BENCHMARK_CAPTURE(BM_MaxFlow, PushRelabel,
     ->Range(64, 4096)
     ->Complexity();
 BENCHMARK(BM_CocoOptimize)->DenseRange(0, 10);
+BENCHMARK(BM_PipelineUncached)->DenseRange(0, 10);
+BENCHMARK(BM_PipelineCached)->DenseRange(0, 10);
 
 BENCHMARK_MAIN();

@@ -14,7 +14,7 @@
 
 #include <iostream>
 
-#include "driver/pipeline.hpp"
+#include "driver/experiment.hpp"
 #include "support/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -30,10 +30,15 @@ main()
     PipelineOptions base;
     base.scheduler = Scheduler::Gremio;
     base.use_coco = false;
-    auto mtcg = runPipeline(w, base);
     PipelineOptions opt = base;
     opt.use_coco = true;
-    auto coco = runPipeline(w, opt);
+
+    // Both cells share IR/profile/PDG/partition via the runner's
+    // artifact cache.
+    ExperimentRunner runner;
+    const auto results = runner.runAll({{w, base}, {w, opt}});
+    const PipelineResult &mtcg = results[0];
+    const PipelineResult &coco = results[1];
 
     Table t("MTCG vs COCO under GREMIO");
     t.setHeader({"Metric", "MTCG", "MTCG+COCO"});

@@ -1,0 +1,26 @@
+#include "driver/artifact_cache.hpp"
+
+namespace gmt
+{
+
+ArtifactCache::Counters
+ArtifactCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Counters c;
+    c.hits = hits_;
+    c.misses = misses_;
+    c.entries = map_.size();
+    return c;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace gmt

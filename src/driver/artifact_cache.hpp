@@ -1,0 +1,111 @@
+#ifndef GMT_DRIVER_ARTIFACT_CACHE_HPP
+#define GMT_DRIVER_ARTIFACT_CACHE_HPP
+
+/**
+ * @file
+ * Cache of immutable pipeline artifacts shared between experiment
+ * cells. Keys are stage-prefix strings (see pass_manager.cpp's
+ * *Key() builders): a key encodes the workload plus exactly the
+ * option prefix that can influence the artifact, so cells agreeing
+ * on that prefix (e.g. DSWP with and without COCO) compute the
+ * artifact once, and any option change lands on a different key —
+ * invalidation by construction.
+ *
+ * getOrCompute() is safe under concurrency with compute-once
+ * semantics: the first thread to claim a key runs the compute
+ * function, every other thread blocks on the shared future. A
+ * compute that throws poisons the entry, so identical cells fail
+ * identically instead of racing to recompute.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+/** Keyed store of shared_ptr<const T> artifacts. */
+class ArtifactCache
+{
+  public:
+    struct Counters
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t entries = 0;
+    };
+
+    /**
+     * Return the artifact under @p key, running @p compute on first
+     * use. @p hit (optional) reports whether this call reused an
+     * existing entry.
+     */
+    template <typename T>
+    std::shared_ptr<const T>
+    getOrCompute(const std::string &key,
+                 const std::function<std::shared_ptr<const T>()> &compute,
+                 bool *hit = nullptr)
+    {
+        std::promise<Stored> promise;
+        std::shared_future<Stored> future;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = map_.find(key);
+            if (it == map_.end()) {
+                future = promise.get_future().share();
+                map_.emplace(key, future);
+                owner = true;
+                ++misses_;
+            } else {
+                future = it->second;
+                ++hits_;
+            }
+        }
+        if (hit)
+            *hit = !owner;
+        if (owner) {
+            try {
+                std::shared_ptr<const T> value = compute();
+                promise.set_value(Stored{
+                    std::static_pointer_cast<const void>(value),
+                    std::type_index(typeid(T))});
+            } catch (...) {
+                promise.set_exception(std::current_exception());
+            }
+        }
+        const Stored &stored = future.get(); // rethrows compute errors
+        GMT_ASSERT(stored.type == std::type_index(typeid(T)),
+                   "artifact type mismatch for key ", key);
+        return std::static_pointer_cast<const T>(stored.value);
+    }
+
+    Counters counters() const;
+
+    /** Drop every entry (counters reset too). */
+    void clear();
+
+  private:
+    struct Stored
+    {
+        std::shared_ptr<const void> value;
+        std::type_index type{typeid(void)};
+    };
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_future<Stored>> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace gmt
+
+#endif // GMT_DRIVER_ARTIFACT_CACHE_HPP

@@ -1,0 +1,156 @@
+#include "driver/bench_harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--jobs N] [--serial] [--no-cache] "
+        "[--stats FILE] [--only W1,W2,...] [--quiet]\n",
+        argv0);
+    std::exit(exit_code);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            parts.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs")
+            opts.jobs = std::atoi(value().c_str());
+        else if (arg == "--serial")
+            opts.jobs = 1;
+        else if (arg == "--no-cache")
+            opts.use_cache = false;
+        else if (arg == "--stats")
+            opts.stats_path = value();
+        else if (arg == "--only")
+            opts.only = splitCsv(value());
+        else if (arg == "--quiet")
+            opts.quiet = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0], 0);
+        else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+BenchHarness::BenchHarness(int argc, char **argv)
+    : BenchHarness(parseBenchOptions(argc, argv))
+{
+}
+
+BenchHarness::BenchHarness(const BenchOptions &opts) : opts_(opts)
+{
+    if (!opts_.stats_path.empty()) {
+        try {
+            stats_ = std::make_unique<StatsSink>(opts_.stats_path);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            std::exit(2);
+        }
+    }
+    ExperimentOptions eo;
+    eo.jobs = opts_.jobs;
+    eo.use_cache = opts_.use_cache;
+    eo.stats = stats_.get();
+    runner_ = std::make_unique<ExperimentRunner>(eo);
+}
+
+std::vector<Workload>
+BenchHarness::workloads() const
+{
+    std::vector<Workload> all = allWorkloads();
+    if (opts_.only.empty())
+        return all;
+    for (const auto &name : opts_.only) {
+        bool known =
+            std::any_of(all.begin(), all.end(), [&](const Workload &w) {
+                return w.name == name;
+            });
+        if (!known) {
+            std::fprintf(stderr,
+                         "--only: unknown workload '%s'; known names:",
+                         name.c_str());
+            for (const auto &w : all)
+                std::fprintf(stderr, " %s", w.name.c_str());
+            std::fprintf(stderr, "\n");
+            std::exit(2);
+        }
+    }
+    std::vector<Workload> picked;
+    for (auto &w : all) {
+        if (std::find(opts_.only.begin(), opts_.only.end(), w.name) !=
+            opts_.only.end())
+            picked.push_back(std::move(w));
+    }
+    return picked;
+}
+
+std::vector<PipelineResult>
+BenchHarness::runAll(const std::vector<ExperimentCell> &cells)
+{
+    auto results = runner_->runAll(cells);
+    if (!opts_.quiet) {
+        const ExperimentSummary &s = runner_->summary();
+        uint64_t lookups = s.cache.hits + s.cache.misses;
+        std::fprintf(
+            stderr,
+            "[bench] %d cells, %d jobs, %.0f ms wall, cache %llu/%llu "
+            "hits (%.0f%%)\n",
+            s.cells, s.jobs, s.wall_ms,
+            static_cast<unsigned long long>(s.cache.hits),
+            static_cast<unsigned long long>(lookups),
+            lookups ? 100.0 * static_cast<double>(s.cache.hits) /
+                          static_cast<double>(lookups)
+                    : 0.0);
+    }
+    return results;
+}
+
+} // namespace gmt

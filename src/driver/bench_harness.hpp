@@ -1,0 +1,73 @@
+#ifndef GMT_DRIVER_BENCH_HARNESS_HPP
+#define GMT_DRIVER_BENCH_HARNESS_HPP
+
+/**
+ * @file
+ * Shared command-line harness for the bench binaries: every figure
+ * and ablation driver accepts the same flags and runs its cell grid
+ * through one parallel, artifact-cached ExperimentRunner.
+ *
+ *   --jobs N        worker threads (default: hardware threads)
+ *   --serial        shorthand for --jobs 1
+ *   --no-cache      recompute every artifact (the seed behaviour)
+ *   --stats FILE    per-pass / per-cell JSONL records (see stats.hpp)
+ *   --only CSV      restrict to the named workloads (e.g. ks,mcf)
+ *   --quiet         suppress the run summary line
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "workloads/workload.hpp"
+
+namespace gmt
+{
+
+/** Parsed harness flags. */
+struct BenchOptions
+{
+    int jobs = 0; ///< 0 = hardware default
+    bool use_cache = true;
+    std::string stats_path;
+    std::vector<std::string> only; ///< empty = all workloads
+    bool quiet = false;
+};
+
+/**
+ * Parse the shared flags. Unknown flags (and --help) print usage and
+ * exit. @p argv[0] is used in the usage text.
+ */
+BenchOptions parseBenchOptions(int argc, char **argv);
+
+/**
+ * One per bench binary: owns the stats sink and the runner, filters
+ * the workload list, and prints a one-line run summary (cells, jobs,
+ * wall clock, cache hit rate) after each batch.
+ */
+class BenchHarness
+{
+  public:
+    BenchHarness(int argc, char **argv);
+    explicit BenchHarness(const BenchOptions &opts);
+
+    /** allWorkloads() filtered by --only (order preserved). */
+    std::vector<Workload> workloads() const;
+
+    /** Run the batch; prints the summary line unless --quiet. */
+    std::vector<PipelineResult> runAll(
+        const std::vector<ExperimentCell> &cells);
+
+    ExperimentRunner &runner() { return *runner_; }
+    StatsSink *stats() { return stats_.get(); }
+
+  private:
+    BenchOptions opts_;
+    std::unique_ptr<StatsSink> stats_;
+    std::unique_ptr<ExperimentRunner> runner_;
+};
+
+} // namespace gmt
+
+#endif // GMT_DRIVER_BENCH_HARNESS_HPP

@@ -1,0 +1,617 @@
+#include "driver/pass_manager.hpp"
+
+#include <chrono>
+
+#include "analysis/loop_info.hpp"
+#include "coco/coco.hpp"
+#include "coco/validate.hpp"
+#include "ir/edge_split.hpp"
+#include "ir/verifier.hpp"
+#include "mtcg/mtcg.hpp"
+#include "mtcg/queue_alloc.hpp"
+#include "partition/dswp.hpp"
+#include "partition/gremio.hpp"
+#include "pdg/pdg_builder.hpp"
+#include "runtime/interpreter.hpp"
+#include "sim/cmp_simulator.hpp"
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/** Fill a fresh MemoryImage for the workload's train or ref input. */
+MemoryImage
+workloadMemory(const Workload &w, bool ref)
+{
+    MemoryImage mem;
+    mem.alloc(w.mem_cells);
+    if (w.fill)
+        w.fill(mem, ref);
+    return mem;
+}
+
+} // namespace
+
+std::string
+PipelineContext::cellId() const
+{
+    std::string id = workload->name;
+    id += '/';
+    id += schedulerName(opts.scheduler);
+    if (opts.use_coco)
+        id += "+COCO";
+    return id;
+}
+
+// ---------------------------------------------------------------------------
+// Cache keys. Every key names the stage and the exact option prefix
+// that can influence the artifact; see artifact_cache.hpp.
+
+std::string
+irKey(const PipelineContext &ctx)
+{
+    return "ir|" + ctx.workload->name;
+}
+
+std::string
+profileKey(const PipelineContext &ctx)
+{
+    return "profile|" + ctx.workload->name +
+           (ctx.opts.static_profile ? "|static" : "|train");
+}
+
+std::string
+pdgKey(const PipelineContext &ctx)
+{
+    return "pdg|" + ctx.workload->name;
+}
+
+std::string
+partitionKey(const PipelineContext &ctx)
+{
+    return std::string("partition|") + ctx.workload->name + '|' +
+           schedulerName(ctx.opts.scheduler) +
+           "|nt=" + std::to_string(ctx.opts.num_threads) +
+           (ctx.opts.static_profile ? "|static" : "|train");
+}
+
+std::string
+planKey(const PipelineContext &ctx)
+{
+    std::string key = "plan|" + partitionKey(ctx);
+    if (!ctx.opts.use_coco)
+        return key + "|mtcg-default";
+    const CocoOptions &c = ctx.opts.coco;
+    key += "|coco";
+    key += "|flow=" + std::to_string(static_cast<int>(c.flow_algo));
+    key += c.control_flow_penalties ? "|cfp=1" : "|cfp=0";
+    key += c.optimize_registers ? "|reg=1" : "|reg=0";
+    key += c.optimize_memory ? "|mem=1" : "|mem=0";
+    key += c.multi_pair_memory ? "|mpm=1" : "|mpm=0";
+    key += "|maxit=" + std::to_string(c.max_iterations);
+    return key;
+}
+
+int
+resolvedQueueCapacity(const PipelineOptions &opts)
+{
+    if (opts.queue_capacity > 0)
+        return opts.queue_capacity;
+    return opts.scheduler == Scheduler::Dswp ? 32 : 1;
+}
+
+std::string
+mtcgKey(const PipelineContext &ctx)
+{
+    return "prog|" + planKey(ctx) +
+           "|qcap=" + std::to_string(resolvedQueueCapacity(ctx.opts));
+}
+
+std::string
+queueAllocKey(const PipelineContext &ctx)
+{
+    return "qalloc|" + mtcgKey(ctx) +
+           "|maxq=" + std::to_string(ctx.opts.max_queues);
+}
+
+std::string
+machineKey(const MachineConfig &m)
+{
+    auto cache = [](const CacheConfig &c) {
+        return std::to_string(c.size_bytes) + ',' +
+               std::to_string(c.associativity) + ',' +
+               std::to_string(c.line_bytes) + ',' +
+               std::to_string(c.hit_latency);
+    };
+    return std::to_string(m.num_cores) + ';' +
+           std::to_string(m.issue_width) + ';' +
+           std::to_string(m.mem_ports) + ';' +
+           std::to_string(m.alu_latency) + ';' +
+           std::to_string(m.mul_latency) + ';' +
+           std::to_string(m.div_latency) + ';' + cache(m.l1d) + ';' +
+           cache(m.l2) + ';' + cache(m.l3) + ';' +
+           std::to_string(m.memory_latency) + ';' +
+           std::to_string(m.sa_queues) + ';' +
+           std::to_string(m.sa_ports) + ';' +
+           std::to_string(m.sa_latency) + ';' +
+           std::to_string(m.queue_capacity);
+}
+
+// ---------------------------------------------------------------------------
+// PassManager
+
+void
+PassManager::addPass(std::string name, PassFn fn)
+{
+    passes_.push_back(Pass{std::move(name), std::move(fn)});
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const Pass &p : passes_)
+        names.push_back(p.name);
+    return names;
+}
+
+namespace
+{
+
+/** Extra between-pass checks (PipelineOptions::check_invariants). */
+void
+checkInvariants(const PipelineContext &ctx, const std::string &after)
+{
+    if (ctx.ir)
+        verifyOrDie(ctx.ir->func);
+    if (ctx.pdg && ctx.partition) {
+        auto problems = validatePartition(
+            ctx.pdg->pdg, ctx.partition->partition,
+            ctx.opts.scheduler == Scheduler::Dswp);
+        if (!problems.empty())
+            panic("invariant check after pass '", after,
+                  "' failed for ", ctx.cellId(), ": ", problems[0]);
+    }
+}
+
+void
+emitPassRecord(PipelineContext &ctx, const PassStats &ps)
+{
+    if (!ctx.stats)
+        return;
+    JsonObject rec;
+    rec.str("type", "pass")
+        .str("cell", ctx.cellId())
+        .str("workload", ctx.workload->name)
+        .str("scheduler", schedulerName(ctx.opts.scheduler))
+        .boolean("coco", ctx.opts.use_coco)
+        .str("pass", ps.pass)
+        .num("wall_ms", ps.wall_ms)
+        .boolean("cached", ps.cached);
+    for (const auto &[name, value] : ps.counters)
+        rec.num(name, static_cast<int64_t>(value));
+    ctx.stats->write(rec);
+}
+
+void
+emitCellRecord(PipelineContext &ctx, double total_ms)
+{
+    if (!ctx.stats)
+        return;
+    const PipelineResult &r = ctx.result;
+    JsonObject rec;
+    rec.str("type", "cell")
+        .str("cell", ctx.cellId())
+        .str("workload", r.workload)
+        .str("scheduler", r.scheduler)
+        .boolean("coco", r.coco)
+        .num("computation", r.computation)
+        .num("duplicated_branches", r.duplicated_branches)
+        .num("reg_comm", r.reg_comm)
+        .num("mem_sync", r.mem_sync)
+        .boolean("has_mem_deps", r.has_mem_deps)
+        .num("st_cycles", r.st_cycles)
+        .num("mt_cycles", r.mt_cycles)
+        .num("speedup", r.speedup())
+        .num("coco_iterations",
+             static_cast<int64_t>(r.coco_iterations))
+        .num("wall_ms", total_ms);
+    ctx.stats->write(rec);
+}
+
+} // namespace
+
+void
+PassManager::run(PipelineContext &ctx) const
+{
+    using Clock = std::chrono::steady_clock;
+    auto run_start = Clock::now();
+
+    ctx.result = PipelineResult{};
+    ctx.result.workload = ctx.workload->name;
+    ctx.result.scheduler = schedulerName(ctx.opts.scheduler);
+    ctx.result.coco = ctx.opts.use_coco;
+
+    for (const Pass &pass : passes_) {
+        PassStats ps;
+        ps.pass = pass.name;
+        auto t0 = Clock::now();
+        pass.run(ctx, ps);
+        auto t1 = Clock::now();
+        ps.wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (ctx.opts.check_invariants)
+            checkInvariants(ctx, pass.name);
+        emitPassRecord(ctx, ps);
+        ctx.pass_stats.push_back(std::move(ps));
+    }
+
+    // Assemble the result from the final artifacts.
+    if (ctx.partition)
+        ctx.result.has_mem_deps = ctx.partition->has_mem_deps;
+    if (ctx.plan)
+        ctx.result.coco_iterations = ctx.plan->coco_iterations;
+    if (ctx.mt_run) {
+        ctx.result.computation = ctx.mt_run->computation;
+        ctx.result.duplicated_branches = ctx.mt_run->duplicated_branches;
+        ctx.result.reg_comm = ctx.mt_run->reg_comm;
+        ctx.result.mem_sync = ctx.mt_run->mem_sync;
+    }
+    if (ctx.st_sim)
+        ctx.result.st_cycles = ctx.st_sim->cycles;
+    if (ctx.mt_sim)
+        ctx.result.mt_cycles = ctx.mt_sim->cycles;
+
+    double total_ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - run_start)
+                          .count();
+    emitCellRecord(ctx, total_ms);
+}
+
+// ---------------------------------------------------------------------------
+// The standard passes.
+
+namespace
+{
+
+void
+passBuildIr(PipelineContext &ctx, PassStats &ps)
+{
+    const Function &src = ctx.workload->func;
+    GMT_ASSERT(src.numBlocks() > 0, "workload ", ctx.workload->name,
+               " has no IR");
+    ps.add("blocks", src.numBlocks());
+    ps.add("instrs", src.numInstrs());
+}
+
+void
+passEdgeSplit(PipelineContext &ctx, PassStats &ps)
+{
+    ctx.ir = ctx.cached<IrArtifact>(
+        irKey(ctx),
+        [&]() {
+            auto art = std::make_shared<IrArtifact>();
+            art->func = ctx.workload->func; // pipeline owns a copy
+            splitCriticalEdges(art->func);
+            return std::shared_ptr<const IrArtifact>(art);
+        },
+        ps);
+    ps.add("blocks", ctx.ir->func.numBlocks());
+    ps.add("instrs", ctx.ir->func.numInstrs());
+}
+
+void
+passVerify(PipelineContext &ctx, PassStats &ps)
+{
+    // Always re-checked, cached IR included: this is the safety net
+    // everything downstream assumes.
+    verifyOrDie(ctx.ir->func);
+    ps.add("blocks", ctx.ir->func.numBlocks());
+}
+
+void
+passProfile(PipelineContext &ctx, PassStats &ps)
+{
+    const Workload &w = *ctx.workload;
+    ctx.profile = ctx.cached<ProfileArtifact>(
+        profileKey(ctx),
+        [&]() -> std::shared_ptr<const ProfileArtifact> {
+            const Function &f = ctx.ir->func;
+            auto art = std::make_shared<ProfileArtifact>();
+            if (ctx.opts.static_profile) {
+                auto dom = DominatorTree::dominators(f);
+                LoopInfo loops(f, dom);
+                art->profile = EdgeProfile::staticEstimate(f, loops);
+            } else {
+                // The paper profiles on the train input.
+                MemoryImage mem = workloadMemory(w, /*ref=*/false);
+                auto run = interpret(f, w.train_args, mem);
+                art->profile = EdgeProfile::fromRun(f, run.profile);
+            }
+            return art;
+        },
+        ps);
+    ps.add("static", ctx.opts.static_profile ? 1 : 0);
+}
+
+void
+passPdg(PipelineContext &ctx, PassStats &ps)
+{
+    ctx.pdg = ctx.cached<PdgArtifact>(
+        pdgKey(ctx),
+        [&]() -> std::shared_ptr<const PdgArtifact> {
+            const Function &f = ctx.ir->func;
+            auto pdom = DominatorTree::postDominators(f);
+            ControlDependence cd(f, pdom);
+            return std::make_shared<PdgArtifact>(PdgArtifact{
+                ctx.ir, buildPdg(f), std::move(pdom), std::move(cd)});
+        },
+        ps);
+    ps.add("arcs", ctx.pdg->pdg.numArcs());
+}
+
+void
+passPartition(PipelineContext &ctx, PassStats &ps)
+{
+    ctx.partition = ctx.cached<PartitionArtifact>(
+        partitionKey(ctx),
+        [&]() -> std::shared_ptr<const PartitionArtifact> {
+            const Pdg &pdg = ctx.pdg->pdg;
+            auto art = std::make_shared<PartitionArtifact>();
+            art->partition =
+                ctx.opts.scheduler == Scheduler::Dswp
+                    ? dswpPartition(
+                          pdg, ctx.profile->profile,
+                          {.num_threads = ctx.opts.num_threads})
+                    : gremioPartition(
+                          pdg, ctx.profile->profile,
+                          {.num_threads = ctx.opts.num_threads});
+            auto problems = validatePartition(
+                pdg, art->partition,
+                ctx.opts.scheduler == Scheduler::Dswp);
+            if (!problems.empty())
+                fatal("partition invalid for ", ctx.workload->name,
+                      ": ", problems[0]);
+            for (const auto &arc : pdg.arcs()) {
+                if (arc.kind == DepKind::Memory &&
+                    art->partition.threadOf(arc.src) !=
+                        art->partition.threadOf(arc.dst))
+                    art->has_mem_deps = true;
+            }
+            return art;
+        },
+        ps);
+    ps.add("threads", ctx.partition->partition.num_threads);
+    ps.add("cross_arcs",
+           countCrossThreadArcs(ctx.pdg->pdg,
+                                ctx.partition->partition));
+}
+
+void
+passPlacement(PipelineContext &ctx, PassStats &ps)
+{
+    ctx.plan = ctx.cached<PlanArtifact>(
+        planKey(ctx),
+        [&]() -> std::shared_ptr<const PlanArtifact> {
+            const Function &f = ctx.ir->func;
+            const Pdg &pdg = ctx.pdg->pdg;
+            const ControlDependence &cd = ctx.pdg->cd;
+            auto art = std::make_shared<PlanArtifact>();
+            if (ctx.opts.use_coco) {
+                auto coco = cocoOptimize(f, pdg,
+                                         ctx.partition->partition, cd,
+                                         ctx.profile->profile,
+                                         ctx.opts.coco);
+                art->plan = std::move(coco.plan);
+                art->coco_iterations = coco.iterations;
+                auto problems =
+                    validatePlan(f, pdg, ctx.partition->partition, cd,
+                                 art->plan);
+                if (!problems.empty())
+                    fatal("COCO plan invalid for ",
+                          ctx.workload->name, ": ", problems[0]);
+            } else {
+                art->plan = defaultMtcgPlan(
+                    f, pdg, ctx.partition->partition, cd);
+            }
+            return art;
+        },
+        ps);
+    ps.add("placements",
+           static_cast<int64_t>(ctx.plan->plan.placements.size()));
+    ps.add("coco_iterations", ctx.plan->coco_iterations);
+}
+
+void
+passMtcg(PipelineContext &ctx, PassStats &ps)
+{
+    ctx.prog = ctx.cached<ProgramArtifact>(
+        mtcgKey(ctx),
+        [&]() -> std::shared_ptr<const ProgramArtifact> {
+            // Queue depth: 32-element queues for DSWP's pipeline
+            // decoupling, single-element queues for GREMIO (paper
+            // §4). Queues are one-per-placement here; the queue-alloc
+            // pass multiplexes them onto an architected budget.
+            MtcgOptions mtcg_opts;
+            mtcg_opts.queue_capacity = resolvedQueueCapacity(ctx.opts);
+            mtcg_opts.max_queues = 0;
+            auto art = std::make_shared<ProgramArtifact>();
+            art->prog = runMtcg(ctx.ir->func, ctx.pdg->pdg,
+                                ctx.partition->partition,
+                                ctx.plan->plan, ctx.pdg->cd, mtcg_opts);
+            return art;
+        },
+        ps);
+    ps.add("threads",
+           static_cast<int64_t>(ctx.prog->prog.threads.size()));
+    ps.add("queues", ctx.prog->prog.num_queues);
+}
+
+void
+passQueueAlloc(PipelineContext &ctx, PassStats &ps)
+{
+    if (ctx.opts.max_queues <= 0) {
+        // One queue per placement (the paper's simplification).
+        ps.add("queues", ctx.prog->prog.num_queues);
+        return;
+    }
+    ctx.prog = ctx.cached<ProgramArtifact>(
+        queueAllocKey(ctx),
+        [&]() -> std::shared_ptr<const ProgramArtifact> {
+            // The MTCG artifact numbers queues by placement index, so
+            // remapping instruction queue ids through the allocation
+            // is exactly the multiplexed program.
+            QueueAllocation alloc = allocateQueues(
+                ctx.plan->plan, ctx.opts.max_queues);
+            auto art = std::make_shared<ProgramArtifact>();
+            art->prog = ctx.prog->prog;
+            for (Function &tf : art->prog.threads) {
+                for (InstrId i = 0; i < tf.numInstrs(); ++i) {
+                    Instr &in = tf.instr(i);
+                    if (isCommunication(in.op))
+                        in.queue = alloc.queue_of[in.queue];
+                }
+            }
+            art->prog.num_queues = alloc.num_queues;
+            return art;
+        },
+        ps);
+    ps.add("queues", ctx.prog->prog.num_queues);
+    ps.add("max_queues", ctx.opts.max_queues);
+}
+
+void
+passMtRun(PipelineContext &ctx, PassStats &ps)
+{
+    const Workload &w = *ctx.workload;
+
+    // Single-threaded reference run: the oracle's ground truth,
+    // shared by every cell of the workload.
+    bool st_ref_hit = false;
+    {
+        PassStats sub;
+        ctx.st_ref = ctx.cached<StRefArtifact>(
+            "stref|" + w.name,
+            [&]() -> std::shared_ptr<const StRefArtifact> {
+                auto art = std::make_shared<StRefArtifact>();
+                art->final_mem = workloadMemory(w, /*ref=*/true);
+                auto run =
+                    interpret(ctx.ir->func, w.ref_args, art->final_mem);
+                art->live_outs = run.live_outs;
+                return art;
+            },
+            sub);
+        st_ref_hit = sub.cached;
+    }
+
+    auto st_ref = ctx.st_ref;
+    auto prog = ctx.prog;
+    ctx.mt_run = ctx.cached<MtRunArtifact>(
+        "mtrun|" + queueAllocKey(ctx),
+        [&, st_ref, prog]() -> std::shared_ptr<const MtRunArtifact> {
+            MemoryImage mt_mem = workloadMemory(w, /*ref=*/true);
+            auto mt = interpretMt(prog->prog, w.ref_args, mt_mem);
+            if (mt.deadlock)
+                fatal("deadlock in generated code for ", w.name);
+            if (!mt.queues_drained)
+                fatal("queues not drained for ", w.name);
+            if (mt.live_outs != st_ref->live_outs ||
+                !(mt_mem == st_ref->final_mem))
+                fatal("MT output mismatch for ", w.name, " (",
+                      schedulerName(ctx.opts.scheduler),
+                      ctx.opts.use_coco ? "+COCO" : "", ")");
+            auto art = std::make_shared<MtRunArtifact>();
+            for (const auto &st : mt.stats) {
+                art->computation += st.computation;
+                art->duplicated_branches += st.duplicated_branches;
+                art->reg_comm += st.produces + st.consumes;
+                art->mem_sync += st.produce_syncs + st.consume_syncs;
+            }
+            return art;
+        },
+        ps);
+    ps.add("stref_cached", st_ref_hit ? 1 : 0);
+    ps.add("computation",
+           static_cast<int64_t>(ctx.mt_run->computation));
+    ps.add("communication",
+           static_cast<int64_t>(ctx.mt_run->reg_comm +
+                                ctx.mt_run->mem_sync));
+}
+
+void
+passSim(PipelineContext &ctx, PassStats &ps)
+{
+    if (!ctx.opts.simulate) {
+        ps.add("skipped", 1);
+        return;
+    }
+    const Workload &w = *ctx.workload;
+    const MachineConfig cfg = ctx.opts.machine;
+    const std::string mkey = machineKey(cfg);
+    auto st_ref = ctx.st_ref;
+
+    bool st_sim_hit = false;
+    {
+        PassStats sub;
+        auto ir = ctx.ir;
+        ctx.st_sim = ctx.cached<StSimArtifact>(
+            "stsim|" + w.name + '|' + mkey,
+            [&, ir, st_ref]() -> std::shared_ptr<const StSimArtifact> {
+                MemoryImage mem = workloadMemory(w, /*ref=*/true);
+                auto st_sim = simulateSingleThreaded(ir->func,
+                                                     w.ref_args, mem,
+                                                     cfg);
+                GMT_ASSERT(st_sim.live_outs == st_ref->live_outs,
+                           "timing sim ST mismatch");
+                auto art = std::make_shared<StSimArtifact>();
+                art->cycles = st_sim.cycles;
+                return art;
+            },
+            sub);
+        st_sim_hit = sub.cached;
+    }
+
+    auto prog = ctx.prog;
+    ctx.mt_sim = ctx.cached<MtSimArtifact>(
+        "mtsim|" + queueAllocKey(ctx) + '|' + mkey,
+        [&, prog, st_ref]() -> std::shared_ptr<const MtSimArtifact> {
+            MemoryImage mem = workloadMemory(w, /*ref=*/true);
+            CmpSimulator sim(cfg);
+            auto mt_sim = sim.run(prog->prog, w.ref_args, mem);
+            GMT_ASSERT(mt_sim.live_outs == st_ref->live_outs,
+                       "timing sim MT mismatch");
+            auto art = std::make_shared<MtSimArtifact>();
+            art->cycles = mt_sim.cycles;
+            return art;
+        },
+        ps);
+    ps.add("stsim_cached", st_sim_hit ? 1 : 0);
+    ps.add("st_cycles", static_cast<int64_t>(ctx.st_sim->cycles));
+    ps.add("mt_cycles", static_cast<int64_t>(ctx.mt_sim->cycles));
+}
+
+} // namespace
+
+PassManager
+PassManager::standardPipeline()
+{
+    PassManager pm;
+    pm.addPass("build-ir", passBuildIr);
+    pm.addPass("edge-split", passEdgeSplit);
+    pm.addPass("verify", passVerify);
+    pm.addPass("profile", passProfile);
+    pm.addPass("pdg", passPdg);
+    pm.addPass("partition", passPartition);
+    pm.addPass("placement", passPlacement);
+    pm.addPass("mtcg", passMtcg);
+    pm.addPass("queue-alloc", passQueueAlloc);
+    pm.addPass("mt-run", passMtRun);
+    pm.addPass("sim", passSim);
+    return pm;
+}
+
+} // namespace gmt

@@ -1,0 +1,249 @@
+#ifndef GMT_DRIVER_PASS_MANAGER_HPP
+#define GMT_DRIVER_PASS_MANAGER_HPP
+
+/**
+ * @file
+ * The staged pass pipeline behind runPipeline(): a PipelineContext
+ * owns one cell's artifacts, a PassManager runs named passes over it
+ * with per-pass wall-clock timing and counters, and an optional
+ * ArtifactCache shares the artifacts between cells that agree on the
+ * option prefix feeding each stage.
+ *
+ * The standard pipeline is the paper's flow, one named pass per
+ * stage:
+ *
+ *   build-ir -> edge-split -> verify -> profile -> pdg -> partition
+ *     -> placement -> mtcg -> queue-alloc -> mt-run -> sim
+ *
+ * Passes communicate exclusively through the context's immutable
+ * shared artifacts, which is what makes both the caching and the
+ * parallel experiment runner safe: a cached artifact is never
+ * mutated, only replaced downstream by a new artifact under a more
+ * specific key.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/edge_profile.hpp"
+#include "driver/artifact_cache.hpp"
+#include "driver/pipeline.hpp"
+#include "driver/stats.hpp"
+#include "mtcg/comm_plan.hpp"
+#include "runtime/mt_interpreter.hpp"
+
+namespace gmt
+{
+
+/** Timing + counters for one executed pass. */
+struct PassStats
+{
+    std::string pass;
+    double wall_ms = 0.0;
+
+    /** Artifact came from the cache (the pass did no real work). */
+    bool cached = false;
+
+    /** Named scalar counters (pdg arcs, queues, iterations, ...). */
+    std::vector<std::pair<std::string, int64_t>> counters;
+
+    void add(const std::string &name, int64_t value)
+    {
+        counters.emplace_back(name, value);
+    }
+};
+
+// Immutable artifacts, shared between cells via the ArtifactCache.
+
+/** Verified, edge-split copy of the workload function. */
+struct IrArtifact
+{
+    Function func{""};
+};
+
+struct ProfileArtifact
+{
+    EdgeProfile profile;
+};
+
+/** PDG bundled with the CFG analyses built on the same Function. */
+struct PdgArtifact
+{
+    /** Keeps the Function the Pdg points into alive. */
+    std::shared_ptr<const IrArtifact> ir;
+    Pdg pdg;
+    DominatorTree pdom;
+    ControlDependence cd;
+};
+
+struct PartitionArtifact
+{
+    ThreadPartition partition;
+
+    /** Any cross-thread memory dependence in the PDG? */
+    bool has_mem_deps = false;
+};
+
+struct PlanArtifact
+{
+    CommPlan plan;
+
+    /** COCO repeat-until iterations (0 for the default placement). */
+    int coco_iterations = 0;
+};
+
+struct ProgramArtifact
+{
+    MtProgram prog;
+};
+
+/** Single-threaded reference run (the equivalence oracle's truth). */
+struct StRefArtifact
+{
+    std::vector<int64_t> live_outs;
+    MemoryImage final_mem;
+};
+
+/** Dynamic instruction counts of the MT run (oracle already passed). */
+struct MtRunArtifact
+{
+    uint64_t computation = 0;
+    uint64_t duplicated_branches = 0;
+    uint64_t reg_comm = 0;
+    uint64_t mem_sync = 0;
+};
+
+struct StSimArtifact
+{
+    uint64_t cycles = 0;
+};
+
+struct MtSimArtifact
+{
+    uint64_t cycles = 0;
+};
+
+/**
+ * Everything one cell's pass pipeline reads and produces. The
+ * context is single-threaded; sharing happens only through the
+ * (thread-safe) cache and the immutable artifacts it returns.
+ */
+struct PipelineContext
+{
+    PipelineContext(const Workload &w, const PipelineOptions &o)
+        : workload(&w), opts(o)
+    {
+    }
+
+    const Workload *workload;
+    PipelineOptions opts;
+
+    /** Optional cross-cell artifact cache (may be null). */
+    ArtifactCache *cache = nullptr;
+
+    /** Optional structured stats sink (may be null). */
+    StatsSink *stats = nullptr;
+
+    // Stage artifacts, filled in pipeline order.
+    std::shared_ptr<const IrArtifact> ir;
+    std::shared_ptr<const ProfileArtifact> profile;
+    std::shared_ptr<const PdgArtifact> pdg;
+    std::shared_ptr<const PartitionArtifact> partition;
+    std::shared_ptr<const PlanArtifact> plan;
+    std::shared_ptr<const ProgramArtifact> prog;
+    std::shared_ptr<const StRefArtifact> st_ref;
+    std::shared_ptr<const MtRunArtifact> mt_run;
+    std::shared_ptr<const StSimArtifact> st_sim;
+    std::shared_ptr<const MtSimArtifact> mt_sim;
+
+    /** Assembled by PassManager::run() after the last pass. */
+    PipelineResult result;
+
+    /** One entry per executed pass, in execution order. */
+    std::vector<PassStats> pass_stats;
+
+    /** "workload/SCHED[+COCO]" — stable id used in stats records. */
+    std::string cellId() const;
+
+    /**
+     * Cache-aware compute: with a cache attached, defer to
+     * getOrCompute under @p key; without one, just run @p compute.
+     * Records hit/miss into @p ps.
+     */
+    template <typename T>
+    std::shared_ptr<const T>
+    cached(const std::string &key,
+           const std::function<std::shared_ptr<const T>()> &compute,
+           PassStats &ps)
+    {
+        if (!cache) {
+            ps.cached = false;
+            return compute();
+        }
+        bool hit = false;
+        auto value = cache->getOrCompute<T>(key, compute, &hit);
+        ps.cached = hit;
+        return value;
+    }
+};
+
+/**
+ * An ordered list of named passes over a PipelineContext. run()
+ * times every pass, appends its PassStats to the context, emits a
+ * stats record per pass (when a sink is attached), optionally
+ * re-checks IR/partition invariants between passes
+ * (PipelineOptions::check_invariants), and assembles the final
+ * PipelineResult.
+ */
+class PassManager
+{
+  public:
+    using PassFn = std::function<void(PipelineContext &, PassStats &)>;
+
+    struct Pass
+    {
+        std::string name;
+        PassFn run;
+    };
+
+    /** Append a pass; order of addition is execution order. */
+    void addPass(std::string name, PassFn fn);
+
+    const std::vector<Pass> &passes() const { return passes_; }
+
+    /** Names in execution order (tests, docs). */
+    std::vector<std::string> passNames() const;
+
+    /** Run every pass in order and finalize ctx.result. */
+    void run(PipelineContext &ctx) const;
+
+    /** The paper's full pipeline (the 11 standard passes). */
+    static PassManager standardPipeline();
+
+  private:
+    std::vector<Pass> passes_;
+};
+
+// Cache-key builders (exposed for tests; see artifact_cache.hpp for
+// the key discipline). Each returns the key of the stage's artifact
+// for this context's workload + option prefix.
+std::string irKey(const PipelineContext &ctx);
+std::string profileKey(const PipelineContext &ctx);
+std::string pdgKey(const PipelineContext &ctx);
+std::string partitionKey(const PipelineContext &ctx);
+std::string planKey(const PipelineContext &ctx);
+std::string mtcgKey(const PipelineContext &ctx);
+std::string queueAllocKey(const PipelineContext &ctx);
+std::string machineKey(const MachineConfig &m);
+
+/** Resolved queue capacity (option override or per-scheduler default). */
+int resolvedQueueCapacity(const PipelineOptions &opts);
+
+} // namespace gmt
+
+#endif // GMT_DRIVER_PASS_MANAGER_HPP

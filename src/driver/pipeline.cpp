@@ -1,19 +1,6 @@
 #include "driver/pipeline.hpp"
 
-#include "analysis/control_dep.hpp"
-#include "analysis/dominators.hpp"
-#include "analysis/edge_profile.hpp"
-#include "analysis/loop_info.hpp"
-#include "coco/validate.hpp"
-#include "ir/edge_split.hpp"
-#include "ir/verifier.hpp"
-#include "mtcg/mtcg.hpp"
-#include "partition/dswp.hpp"
-#include "partition/gremio.hpp"
-#include "pdg/pdg_builder.hpp"
-#include "runtime/interpreter.hpp"
-#include "sim/cmp_simulator.hpp"
-#include "support/error.hpp"
+#include "driver/pass_manager.hpp"
 
 namespace gmt
 {
@@ -24,135 +11,16 @@ schedulerName(Scheduler s)
     return s == Scheduler::Dswp ? "DSWP" : "GREMIO";
 }
 
+// Compatibility wrapper: one uncached, serial run of the standard
+// pass pipeline (see pass_manager.hpp). Batch callers should use
+// ExperimentRunner (driver/experiment.hpp) to get artifact caching
+// and the thread pool.
 PipelineResult
 runPipeline(const Workload &workload, const PipelineOptions &opts)
 {
-    PipelineResult result;
-    result.workload = workload.name;
-    result.scheduler = schedulerName(opts.scheduler);
-    result.coco = opts.use_coco;
-
-    // The function is copied so the pipeline owns a stable instance.
-    Function f = workload.func;
-    splitCriticalEdges(f);
-    verifyOrDie(f);
-
-    // Train-input profile (the paper profiles on train, runs on ref),
-    // or the static loop-depth estimate.
-    EdgeProfile profile = [&] {
-        if (opts.static_profile) {
-            auto dom = DominatorTree::dominators(f);
-            LoopInfo loops(f, dom);
-            return EdgeProfile::staticEstimate(f, loops);
-        }
-        MemoryImage train_mem;
-        train_mem.alloc(workload.mem_cells);
-        if (workload.fill)
-            workload.fill(train_mem, /*ref=*/false);
-        auto train_run = interpret(f, workload.train_args, train_mem);
-        return EdgeProfile::fromRun(f, train_run.profile);
-    }();
-
-    Pdg pdg = buildPdg(f);
-    auto pdom = DominatorTree::postDominators(f);
-    ControlDependence cd(f, pdom);
-
-    ThreadPartition partition =
-        opts.scheduler == Scheduler::Dswp
-            ? dswpPartition(pdg, profile,
-                            {.num_threads = opts.num_threads})
-            : gremioPartition(pdg, profile,
-                              {.num_threads = opts.num_threads});
-    {
-        auto problems = validatePartition(
-            pdg, partition, opts.scheduler == Scheduler::Dswp);
-        if (!problems.empty())
-            fatal("partition invalid for ", workload.name, ": ",
-                  problems[0]);
-    }
-    for (const auto &arc : pdg.arcs()) {
-        if (arc.kind == DepKind::Memory &&
-            partition.threadOf(arc.src) != partition.threadOf(arc.dst))
-            result.has_mem_deps = true;
-    }
-
-    CommPlan plan;
-    if (opts.use_coco) {
-        auto coco = cocoOptimize(f, pdg, partition, cd, profile,
-                                 opts.coco);
-        plan = std::move(coco.plan);
-        result.coco_iterations = coco.iterations;
-        auto problems = validatePlan(f, pdg, partition, cd, plan);
-        if (!problems.empty())
-            fatal("COCO plan invalid for ", workload.name, ": ",
-                  problems[0]);
-    } else {
-        plan = defaultMtcgPlan(f, pdg, partition, cd);
-    }
-
-    // Queue depth: 32-element queues for DSWP's pipeline decoupling,
-    // single-element queues for GREMIO (paper §4).
-    MtcgOptions mtcg_opts;
-    mtcg_opts.queue_capacity =
-        opts.queue_capacity > 0
-            ? opts.queue_capacity
-            : (opts.scheduler == Scheduler::Dswp ? 32 : 1);
-    mtcg_opts.max_queues = opts.max_queues;
-    MtProgram prog = runMtcg(f, pdg, partition, plan, cd, mtcg_opts);
-
-    // Reference run + equivalence oracle.
-    MemoryImage ref_mem;
-    ref_mem.alloc(workload.mem_cells);
-    if (workload.fill)
-        workload.fill(ref_mem, /*ref=*/true);
-    auto st_ref = interpret(f, workload.ref_args, ref_mem);
-
-    MemoryImage mt_mem;
-    mt_mem.alloc(workload.mem_cells);
-    if (workload.fill)
-        workload.fill(mt_mem, /*ref=*/true);
-    auto mt = interpretMt(prog, workload.ref_args, mt_mem);
-    if (mt.deadlock)
-        fatal("deadlock in generated code for ", workload.name);
-    if (!mt.queues_drained)
-        fatal("queues not drained for ", workload.name);
-    if (mt.live_outs != st_ref.live_outs || !(mt_mem == ref_mem))
-        fatal("MT output mismatch for ", workload.name, " (",
-              result.scheduler, result.coco ? "+COCO" : "", ")");
-
-    for (const auto &st : mt.stats) {
-        result.computation += st.computation;
-        result.duplicated_branches += st.duplicated_branches;
-        result.reg_comm += st.produces + st.consumes;
-        result.mem_sync += st.produce_syncs + st.consume_syncs;
-    }
-
-    if (opts.simulate) {
-        MachineConfig cfg = opts.machine;
-        {
-            MemoryImage sim_mem;
-            sim_mem.alloc(workload.mem_cells);
-            if (workload.fill)
-                workload.fill(sim_mem, /*ref=*/true);
-            auto st_sim = simulateSingleThreaded(
-                f, workload.ref_args, sim_mem, cfg);
-            GMT_ASSERT(st_sim.live_outs == st_ref.live_outs,
-                       "timing sim ST mismatch");
-            result.st_cycles = st_sim.cycles;
-        }
-        {
-            MemoryImage sim_mem;
-            sim_mem.alloc(workload.mem_cells);
-            if (workload.fill)
-                workload.fill(sim_mem, /*ref=*/true);
-            CmpSimulator sim(cfg);
-            auto mt_sim = sim.run(prog, workload.ref_args, sim_mem);
-            GMT_ASSERT(mt_sim.live_outs == st_ref.live_outs,
-                       "timing sim MT mismatch");
-            result.mt_cycles = mt_sim.cycles;
-        }
-    }
-    return result;
+    PipelineContext ctx(workload, opts);
+    PassManager::standardPipeline().run(ctx);
+    return ctx.result;
 }
 
 } // namespace gmt

@@ -62,6 +62,12 @@ struct PipelineOptions
      * being nearly as accurate.
      */
     bool static_profile = false;
+
+    /**
+     * Re-check IR and partition invariants between passes (pass
+     * manager only; the in-pass validations always run).
+     */
+    bool check_invariants = false;
 };
 
 /** Everything the figures need from one cell. */
@@ -98,6 +104,9 @@ struct PipelineResult
 
     /** COCO repeat-until iterations (0 when COCO is off). */
     int coco_iterations = 0;
+
+    /** Field-wise equality (the parallel-vs-serial determinism oracle). */
+    bool operator==(const PipelineResult &) const = default;
 };
 
 /**

@@ -1,8 +1,7 @@
 #include "driver/report.hpp"
 
+#include <algorithm>
 #include <cmath>
-
-#include "support/error.hpp"
 
 namespace gmt
 {
@@ -21,14 +20,41 @@ mean(const std::vector<double> &xs)
 double
 geomean(const std::vector<double> &xs)
 {
+    double log_sum = 0;
+    size_t n = 0;
+    for (double x : xs) {
+        if (x <= 0)
+            continue; // unsimulated / degenerate cells
+        log_sum += std::log(x);
+        ++n;
+    }
+    if (n == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(n));
+}
+
+double
+median(std::vector<double> xs)
+{
     if (xs.empty())
         return 0.0;
-    double log_sum = 0;
-    for (double x : xs) {
-        GMT_ASSERT(x > 0, "geomean of non-positive value");
-        log_sum += std::log(x);
-    }
-    return std::exp(log_sum / static_cast<double>(xs.size()));
+    std::sort(xs.begin(), xs.end());
+    size_t mid = xs.size() / 2;
+    if (xs.size() % 2 == 1)
+        return xs[mid];
+    return (xs[mid - 1] + xs[mid]) / 2.0;
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double sq = 0;
+    for (double x : xs)
+        sq += (x - m) * (x - m);
+    return std::sqrt(sq / static_cast<double>(xs.size()));
 }
 
 double

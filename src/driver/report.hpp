@@ -17,8 +17,18 @@ namespace gmt
 /** Arithmetic mean; 0 for empty input. */
 double mean(const std::vector<double> &xs);
 
-/** Geometric mean; 0 for empty input (values must be positive). */
+/**
+ * Geometric mean over the positive values; non-positive entries are
+ * skipped (a zero speedup means "cell not simulated", and log() of it
+ * would poison the whole average). 0 when nothing positive remains.
+ */
 double geomean(const std::vector<double> &xs);
+
+/** Median (mean of the middle two for even sizes); 0 for empty input. */
+double median(std::vector<double> xs);
+
+/** Population standard deviation; 0 for fewer than two values. */
+double stddev(const std::vector<double> &xs);
 
 /**
  * Relative dynamic communication of COCO vs MTCG for one cell

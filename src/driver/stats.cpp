@@ -1,0 +1,127 @@
+#include "driver/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+std::string
+JsonObject::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonObject::key(const std::string &k)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += '"';
+    body_ += escape(k);
+    body_ += "\":";
+}
+
+JsonObject &
+JsonObject::str(const std::string &k, const std::string &value)
+{
+    key(k);
+    body_ += '"';
+    body_ += escape(value);
+    body_ += '"';
+    return *this;
+}
+
+JsonObject &
+JsonObject::num(const std::string &k, double value)
+{
+    key(k);
+    if (!std::isfinite(value)) {
+        body_ += "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    body_ += buf;
+    return *this;
+}
+
+JsonObject &
+JsonObject::num(const std::string &k, int64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonObject &
+JsonObject::num(const std::string &k, uint64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonObject &
+JsonObject::boolean(const std::string &k, bool value)
+{
+    key(k);
+    body_ += value ? "true" : "false";
+    return *this;
+}
+
+std::string
+JsonObject::render() const
+{
+    return "{" + body_ + "}";
+}
+
+StatsSink::StatsSink(const std::string &path)
+    : owned_(path, std::ios::trunc), os_(&owned_)
+{
+    if (!owned_)
+        fatal("cannot open stats file ", path);
+}
+
+StatsSink::StatsSink(std::ostream &os) : os_(&os) {}
+
+void
+StatsSink::write(const JsonObject &record)
+{
+    std::string line = record.render();
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mu_);
+    *os_ << line;
+    os_->flush();
+    ++records_;
+}
+
+uint64_t
+StatsSink::recordsWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+}
+
+} // namespace gmt

@@ -17,6 +17,28 @@ TEST(Report, MeanAndGeomean)
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
 
+TEST(Report, GeomeanSkipsNonPositiveValues)
+{
+    // A zero (e.g. a cell whose simulation was skipped) must not
+    // collapse the whole geomean to 0 or NaN.
+    EXPECT_NEAR(geomean({1.0, 4.0, 0.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({-3.0, 9.0, 1.0}), 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}
+
+TEST(Report, MedianAndStddev)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+
+    EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
 TEST(Report, RelativeComm)
 {
     PipelineResult a, b;
