@@ -55,16 +55,18 @@ pathEscapes(const Function &f, ProgramPoint start, InstrId target,
 
 } // namespace
 
-std::vector<std::string>
-validatePlan(const Function &f, const Pdg &pdg,
-             const ThreadPartition &partition,
-             const ControlDependence &cd, const CommPlan &plan)
+std::vector<MtvDiag>
+validatePlanDiags(const Function &f, const Pdg &pdg,
+                  const ThreadPartition &partition,
+                  const ControlDependence &cd, const CommPlan &plan)
 {
-    std::vector<std::string> problems;
-    auto complain = [&](auto &&...parts) {
+    std::vector<MtvDiag> problems;
+    auto complain = [&](MtvCode code, MtvDiag coords, auto &&...parts) {
         std::ostringstream os;
         (os << ... << parts);
-        problems.push_back(os.str());
+        coords.code = code;
+        coords.message = os.str();
+        problems.push_back(std::move(coords));
     };
 
     // Structural pre-check: every point must name a real program
@@ -73,12 +75,15 @@ validatePlan(const Function &f, const Pdg &pdg,
         for (const auto &p : plan.placements[pi].points) {
             if (p.block < 0 || p.block >= f.numBlocks() || p.pos < 0 ||
                 p.pos >= static_cast<int>(f.block(p.block).size())) {
-                complain("placement ", pi, ": invalid point");
+                complain(MtvCode::PlanInvalidPoint, {},
+                         "placement ", pi, ": invalid point");
             }
         }
     }
-    if (!problems.empty())
+    if (!problems.empty()) {
+        dedupeDiags(problems);
         return problems;
+    }
 
     RelevantSets relevant(f, cd, partition, plan);
 
@@ -93,7 +98,11 @@ validatePlan(const Function &f, const Pdg &pdg,
         }
         for (const auto &p : pl.points) {
             if (!relevant.isRelevantPoint(pl.src_thread, p.block, cd)) {
-                complain("placement ", pi,
+                complain(MtvCode::PlanSourceIrrelevant,
+                         {.thread = pl.src_thread,
+                          .block = p.block,
+                          .pos = p.pos},
+                         "placement ", pi,
                          ": Property 2 violated (point in block ",
                          f.block(p.block).label(),
                          " not relevant to source thread ",
@@ -119,7 +128,11 @@ validatePlan(const Function &f, const Pdg &pdg,
                                   p) != prev.points.end();
                 }
                 if (!forwarded) {
-                    complain("placement ", pi,
+                    complain(MtvCode::PlanUnsafePoint,
+                             {.thread = pl.src_thread,
+                              .block = p.block,
+                              .pos = p.pos},
+                             "placement ", pi,
                              ": Property 3 violated (r", pl.reg,
                              " unsafe at ", f.block(p.block).label(),
                              ":", p.pos, ")");
@@ -151,13 +164,30 @@ validatePlan(const Function &f, const Pdg &pdg,
                            f.positionOf(arc.src) + 1};
         Reg kill = arc.kind == DepKind::Register ? arc.reg : kNoReg;
         if (pathEscapes(f, start, arc.dst, barrier, kill)) {
-            complain("arc i", arc.src, " -> i", arc.dst, " (",
+            complain(MtvCode::PlanUncoveredArc,
+                     {.thread = tt,
+                      .block = f.instr(arc.dst).block,
+                      .instr = arc.dst},
+                     "arc i", arc.src, " -> i", arc.dst, " (",
                      arc.kind == DepKind::Register ? "reg" : "mem",
                      ") from T", ts, " to T", tt,
                      " has an uncovered path");
         }
     }
+    dedupeDiags(problems);
     return problems;
+}
+
+std::vector<std::string>
+validatePlan(const Function &f, const Pdg &pdg,
+             const ThreadPartition &partition,
+             const ControlDependence &cd, const CommPlan &plan)
+{
+    std::vector<std::string> rendered;
+    for (const MtvDiag &d :
+         validatePlanDiags(f, pdg, partition, cd, plan))
+        rendered.push_back(renderDiag(d));
+    return rendered;
 }
 
 } // namespace gmt

@@ -15,6 +15,7 @@
 
 #include "analysis/control_dep.hpp"
 #include "mtcg/comm_plan.hpp"
+#include "mtverify/diag.hpp"
 #include "partition/partition.hpp"
 #include "pdg/pdg.hpp"
 
@@ -31,8 +32,19 @@ namespace gmt
  *    memory arc (src -> dst), every instruction-level CFG path from
  *    source to destination crosses one of the placement's points.
  *
- * @return problems (empty = valid).
+ * Findings use the mtverify diagnostic space (codes PlanInvalidPoint,
+ * PlanSourceIrrelevant, PlanUnsafePoint, PlanUncoveredArc) with
+ * block/pos coordinates of the offending point and, for coverage, the
+ * destination instruction of the uncovered arc. Exact repeats are
+ * deduplicated. @return findings (empty = valid).
  */
+std::vector<MtvDiag> validatePlanDiags(const Function &f, const Pdg &pdg,
+                                       const ThreadPartition &partition,
+                                       const ControlDependence &cd,
+                                       const CommPlan &plan);
+
+/** validatePlanDiags rendered one string per finding (callers that
+ *  only print). Empty = valid. */
 std::vector<std::string> validatePlan(const Function &f, const Pdg &pdg,
                                       const ThreadPartition &partition,
                                       const ControlDependence &cd,

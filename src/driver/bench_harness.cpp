@@ -20,7 +20,8 @@ usage(const char *argv0, int exit_code)
     std::fprintf(
         stderr,
         "usage: %s [--jobs N] [--serial] [--no-cache] "
-        "[--stats FILE] [--only W1,W2,...] [--quiet]\n",
+        "[--stats FILE] [--only W1,W2,...] [--quiet] "
+        "[--no-mtverify]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -69,6 +70,8 @@ parseBenchOptions(int argc, char **argv)
             opts.only = splitCsv(value());
         else if (arg == "--quiet")
             opts.quiet = true;
+        else if (arg == "--no-mtverify")
+            opts.verify_mt = false;
         else if (arg == "--help" || arg == "-h")
             usage(argv[0], 0);
         else {
@@ -135,7 +138,11 @@ BenchHarness::workloads() const
 std::vector<PipelineResult>
 BenchHarness::runAll(const std::vector<ExperimentCell> &cells)
 {
-    auto results = runner_->runAll(cells);
+    std::vector<ExperimentCell> batch = cells;
+    if (!opts_.verify_mt)
+        for (ExperimentCell &cell : batch)
+            cell.opts.verify_mt = false;
+    auto results = runner_->runAll(batch);
     if (!opts_.quiet) {
         const ExperimentSummary &s = runner_->summary();
         uint64_t lookups = s.cache.hits + s.cache.misses;

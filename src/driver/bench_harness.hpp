@@ -13,6 +13,7 @@
  *   --stats FILE    per-pass / per-cell JSONL records (see stats.hpp)
  *   --only CSV      restrict to the named workloads (e.g. ks,mcf)
  *   --quiet         suppress the run summary line
+ *   --no-mtverify   skip the static verify-mt pass on generated code
  */
 
 #include <memory>
@@ -33,6 +34,7 @@ struct BenchOptions
     std::string stats_path;
     std::vector<std::string> only; ///< empty = all workloads
     bool quiet = false;
+    bool verify_mt = true;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include "ir/verifier.hpp"
 #include "mtcg/mtcg.hpp"
 #include "mtcg/queue_alloc.hpp"
+#include "mtverify/mtverify.hpp"
 #include "partition/dswp.hpp"
 #include "partition/gremio.hpp"
 #include "pdg/pdg_builder.hpp"
@@ -167,7 +168,8 @@ void
 checkInvariants(const PipelineContext &ctx, const std::string &after)
 {
     if (ctx.ir)
-        verifyOrDie(ctx.ir->func);
+        verifyOrDie(ctx.ir->func, {},
+                    "invariant check after pass '" + after + "'");
     if (ctx.pdg && ctx.partition) {
         auto problems = validatePartition(
             ctx.pdg->pdg, ctx.partition->partition,
@@ -309,7 +311,7 @@ passVerify(PipelineContext &ctx, PassStats &ps)
 {
     // Always re-checked, cached IR included: this is the safety net
     // everything downstream assumes.
-    verifyOrDie(ctx.ir->func);
+    verifyOrDie(ctx.ir->func, {}, "verify pass");
     ps.add("blocks", ctx.ir->func.numBlocks());
 }
 
@@ -443,6 +445,10 @@ passMtcg(PipelineContext &ctx, PassStats &ps)
             art->prog = runMtcg(ctx.ir->func, ctx.pdg->pdg,
                                 ctx.partition->partition,
                                 ctx.plan->plan, ctx.pdg->cd, mtcg_opts);
+            // max_queues == 0: placement i owns queue i.
+            art->queue_of.resize(ctx.plan->plan.placements.size());
+            for (size_t pi = 0; pi < art->queue_of.size(); ++pi)
+                art->queue_of[pi] = static_cast<int>(pi);
             return art;
         },
         ps);
@@ -477,11 +483,37 @@ passQueueAlloc(PipelineContext &ctx, PassStats &ps)
                 }
             }
             art->prog.num_queues = alloc.num_queues;
+            art->queue_of = alloc.queue_of;
             return art;
         },
         ps);
     ps.add("queues", ctx.prog->prog.num_queues);
     ps.add("max_queues", ctx.opts.max_queues);
+}
+
+void
+passVerifyMt(PipelineContext &ctx, PassStats &ps)
+{
+    if (!ctx.opts.verify_mt) {
+        ps.add("skipped", 1);
+        return;
+    }
+    // Never cached: like the verify pass, this is the safety net the
+    // execution stages assume, and it must re-check cached artifacts.
+    MtVerifyInput in;
+    in.orig = &ctx.ir->func;
+    in.pdg = &ctx.pdg->pdg;
+    in.partition = &ctx.partition->partition;
+    in.plan = &ctx.plan->plan;
+    in.queue_of = &ctx.prog->queue_of;
+    in.prog = &ctx.prog->prog;
+    MtVerifyResult res = verifyMtProgram(in);
+    ps.add("diags", static_cast<int64_t>(res.diags.size()));
+    ps.add("errors", res.errors());
+    ps.add("warnings", res.warnings());
+    if (!res.ok())
+        fatal("MT verification failed for ", ctx.cellId(), ":\n",
+              res.render());
 }
 
 void
@@ -597,7 +629,7 @@ passSim(PipelineContext &ctx, PassStats &ps)
 } // namespace
 
 PassManager
-PassManager::standardPipeline()
+PassManager::codegenPipeline()
 {
     PassManager pm;
     pm.addPass("build-ir", passBuildIr);
@@ -609,6 +641,14 @@ PassManager::standardPipeline()
     pm.addPass("placement", passPlacement);
     pm.addPass("mtcg", passMtcg);
     pm.addPass("queue-alloc", passQueueAlloc);
+    return pm;
+}
+
+PassManager
+PassManager::standardPipeline()
+{
+    PassManager pm = codegenPipeline();
+    pm.addPass("verify-mt", passVerifyMt);
     pm.addPass("mt-run", passMtRun);
     pm.addPass("sim", passSim);
     return pm;

@@ -13,7 +13,8 @@
  * stage:
  *
  *   build-ir -> edge-split -> verify -> profile -> pdg -> partition
- *     -> placement -> mtcg -> queue-alloc -> mt-run -> sim
+ *     -> placement -> mtcg -> queue-alloc -> verify-mt -> mt-run
+ *     -> sim
  *
  * Passes communicate exclusively through the context's immutable
  * shared artifacts, which is what makes both the caching and the
@@ -100,6 +101,13 @@ struct PlanArtifact
 struct ProgramArtifact
 {
     MtProgram prog;
+
+    /**
+     * Queue assigned to each plan placement (the witness the MT
+     * verifier checks emission against). Identity after mtcg; the
+     * multiplexed assignment after queue-alloc.
+     */
+    std::vector<int> queue_of;
 };
 
 /** Single-threaded reference run (the equivalence oracle's truth). */
@@ -222,8 +230,17 @@ class PassManager
     /** Run every pass in order and finalize ctx.result. */
     void run(PipelineContext &ctx) const;
 
-    /** The paper's full pipeline (the 11 standard passes). */
+    /** The paper's full pipeline (the 12 standard passes). */
     static PassManager standardPipeline();
+
+    /**
+     * The code-generation prefix of the standard pipeline: build-ir
+     * through queue-alloc, without verification, execution, or
+     * simulation. gmt-lint uses this to materialize a cell's
+     * artifacts and then run the MT verifier itself to collect (not
+     * die on) diagnostics.
+     */
+    static PassManager codegenPipeline();
 
   private:
     std::vector<Pass> passes_;

@@ -68,6 +68,14 @@ struct PipelineOptions
      * manager only; the in-pass validations always run).
      */
     bool check_invariants = false;
+
+    /**
+     * Statically verify the generated MT program (dependence
+     * preservation, queue balance, deadlock freedom — see
+     * mtverify/mtverify.hpp) before running it. On by default; the
+     * bench harness exposes --no-mtverify to skip it.
+     */
+    bool verify_mt = true;
 };
 
 /** Everything the figures need from one cell. */

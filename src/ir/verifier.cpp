@@ -1,6 +1,7 @@
 #include "ir/verifier.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -53,6 +54,11 @@ verifyFunction(const Function &f, const VerifyOptions &opts)
             if (in.isCommunication()) {
                 if (in.queue == kNoQueue)
                     complain("instr i", id, " communication without queue");
+                else if (opts.num_queues >= 0 &&
+                         (in.queue < 0 || in.queue >= opts.num_queues))
+                    complain("instr i", id, " queue id ", in.queue,
+                             " outside allocated range [0, ",
+                             opts.num_queues, ")");
             } else if (in.queue != kNoQueue) {
                 complain("instr i", id, " non-communication with queue");
             }
@@ -123,16 +129,52 @@ verifyFunction(const Function &f, const VerifyOptions &opts)
     if (!opts.allow_empty_live_outs && f.liveOuts().empty())
         complain("function declares no live-outs");
 
+    // Before multiplexing, every placement owns its queue, so within
+    // one thread function a queue id must be used in a single role
+    // (the thread is one endpoint), and all its uses must agree on
+    // kind and register (they are the points of one placement). Two
+    // placements sharing a queue id show up as a disagreement.
+    if (opts.unique_placement_queues) {
+        std::map<QueueId, InstrId> first_use;
+        for (InstrId id = 0; id < f.numInstrs(); ++id) {
+            const Instr &in = f.instr(id);
+            if (!in.isCommunication() || in.queue == kNoQueue)
+                continue;
+            auto [it, fresh] = first_use.try_emplace(in.queue, id);
+            if (fresh)
+                continue;
+            const Instr &prev = f.instr(it->second);
+            bool produce = in.op == Opcode::Produce ||
+                           in.op == Opcode::ProduceSync;
+            bool prev_produce = prev.op == Opcode::Produce ||
+                                prev.op == Opcode::ProduceSync;
+            if (produce != prev_produce)
+                complain("instr i", id, " uses queue ", in.queue,
+                         " as both producer and consumer (also i",
+                         it->second, ")");
+            else if (in.op != prev.op || in.src1 != prev.src1 ||
+                     in.dst != prev.dst)
+                complain("instr i", id, " shares queue ", in.queue,
+                         " with i", it->second,
+                         " but disagrees on kind or register (two "
+                         "placements on one queue?)");
+        }
+    }
+
     return problems;
 }
 
 void
-verifyOrDie(const Function &f, const VerifyOptions &opts)
+verifyOrDie(const Function &f, const VerifyOptions &opts,
+            std::string_view context)
 {
     auto problems = verifyFunction(f, opts);
     if (!problems.empty()) {
         std::ostringstream os;
-        os << "IR verification failed for @" << f.name() << ":";
+        os << "IR verification failed for @" << f.name();
+        if (!context.empty())
+            os << " (" << context << ")";
+        os << ":";
         for (const auto &p : problems)
             os << "\n  - " << p;
         fatal(os.str());

@@ -8,6 +8,7 @@
  */
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/function.hpp"
@@ -24,6 +25,22 @@ struct VerifyOptions
      * are identical otherwise.
      */
     bool allow_empty_live_outs = true;
+
+    /**
+     * Allocated queue range: communication queue ids must lie in
+     * [0, num_queues). Negative disables the range check (functions
+     * that are not MTCG output carry no queues at all).
+     */
+    int num_queues = -1;
+
+    /**
+     * Require that no two communication instructions of this function
+     * use the same queue id in the same role (two produces or two
+     * consumes on one queue). Holds for MTCG output before queue
+     * multiplexing, where each placement owns its queue and each
+     * thread is one endpoint of it.
+     */
+    bool unique_placement_queues = false;
 };
 
 /**
@@ -43,8 +60,14 @@ struct VerifyOptions
 std::vector<std::string> verifyFunction(const Function &f,
                                         const VerifyOptions &opts = {});
 
-/** Throw FatalError with all problems if verification fails. */
-void verifyOrDie(const Function &f, const VerifyOptions &opts = {});
+/**
+ * Throw FatalError with all problems if verification fails. The
+ * message names the function and, when @p context is non-empty, the
+ * pass or stage that produced the IR — so a pipeline failure is
+ * attributable without a debugger.
+ */
+void verifyOrDie(const Function &f, const VerifyOptions &opts = {},
+                 std::string_view context = {});
 
 } // namespace gmt
 

@@ -187,7 +187,10 @@ runMtcg(const Function &f, const Pdg &pdg,
             out.setLiveOuts({});
         out.setEntry(new_block[retarget(f.entry())]);
 
-        verifyOrDie(out);
+        verifyOrDie(out,
+                    {.num_queues = num_queues,
+                     .unique_placement_queues = opts.max_queues <= 0},
+                    "mtcg emission, thread " + std::to_string(t));
         prog.threads.push_back(std::move(out));
     }
 

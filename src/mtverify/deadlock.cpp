@@ -1,0 +1,145 @@
+#include "mtverify/deadlock.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace gmt
+{
+
+namespace
+{
+
+bool
+isProduce(Opcode op)
+{
+    return op == Opcode::Produce || op == Opcode::ProduceSync;
+}
+
+/** One communication event inside a block's happens-before graph. */
+struct Event
+{
+    int thread = -1;
+    QueueId queue = kNoQueue;
+    bool produce = false;
+    InstrId instr = kNoInstr; ///< emitted instruction
+};
+
+/** Find one cycle via iterative DFS; @return its node indices. */
+std::vector<int>
+findCycle(const std::vector<std::vector<int>> &adj)
+{
+    int n = static_cast<int>(adj.size());
+    // 0 = white, 1 = on stack, 2 = done.
+    std::vector<int> color(n, 0), parent(n, -1);
+    for (int root = 0; root < n; ++root) {
+        if (color[root] != 0)
+            continue;
+        std::vector<std::pair<int, size_t>> stack{{root, 0}};
+        color[root] = 1;
+        while (!stack.empty()) {
+            auto &[v, edge] = stack.back();
+            if (edge == adj[v].size()) {
+                color[v] = 2;
+                stack.pop_back();
+                continue;
+            }
+            int w = adj[v][edge++];
+            if (color[w] == 1) {
+                // Found a back edge v -> w: unwind v..w.
+                std::vector<int> cycle{w};
+                for (int u = v; u != w; u = parent[u])
+                    cycle.push_back(u);
+                std::reverse(cycle.begin(), cycle.end());
+                return cycle;
+            }
+            if (color[w] == 0) {
+                color[w] = 1;
+                parent[w] = v;
+                stack.push_back({w, 0});
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+void
+checkDeadlockFreedom(const Function &orig, const MtProgram &prog,
+                     const std::vector<ThreadCodeMap> &maps,
+                     std::vector<MtvDiag> &diags)
+{
+    int num_threads = static_cast<int>(prog.threads.size());
+
+    for (BlockId ob = 0; ob < orig.numBlocks(); ++ob) {
+        // Gather every thread's communication events for this block,
+        // in that thread's program order.
+        std::vector<Event> events;
+        std::vector<std::vector<int>> by_thread(num_threads);
+        for (int t = 0; t < num_threads; ++t) {
+            BlockId eb = maps[t].emitted_block.empty()
+                             ? kNoBlock
+                             : maps[t].emitted_block[ob];
+            if (eb == kNoBlock)
+                continue;
+            for (InstrId ei : prog.threads[t].block(eb).instrs()) {
+                const Instr &in = prog.threads[t].instr(ei);
+                if (!in.isCommunication())
+                    continue;
+                by_thread[t].push_back(static_cast<int>(events.size()));
+                events.push_back({t, in.queue, isProduce(in.op), ei});
+            }
+        }
+        if (events.empty())
+            continue;
+
+        std::vector<std::vector<int>> adj(events.size());
+
+        // Program order within each thread.
+        for (int t = 0; t < num_threads; ++t)
+            for (size_t k = 1; k < by_thread[t].size(); ++k)
+                adj[by_thread[t][k - 1]].push_back(by_thread[t][k]);
+
+        // Match and capacity edges per queue: the k-th produce must
+        // precede the k-th consume; the k-th consume must precede the
+        // (k + capacity)-th produce.
+        std::map<QueueId, std::pair<std::vector<int>, std::vector<int>>>
+            per_queue; // queue -> (produces, consumes) in order
+        for (size_t i = 0; i < events.size(); ++i) {
+            auto &[prods, conss] = per_queue[events[i].queue];
+            (events[i].produce ? prods : conss)
+                .push_back(static_cast<int>(i));
+        }
+        for (auto &[q, pc] : per_queue) {
+            auto &[prods, conss] = pc;
+            size_t matched = std::min(prods.size(), conss.size());
+            for (size_t k = 0; k < matched; ++k)
+                adj[prods[k]].push_back(conss[k]);
+            size_t cap = static_cast<size_t>(prog.queue_capacity);
+            for (size_t k = 0; k + cap < prods.size(); ++k)
+                if (k < conss.size())
+                    adj[conss[k]].push_back(prods[k + cap]);
+        }
+
+        std::vector<int> cycle = findCycle(adj);
+        if (cycle.empty())
+            continue;
+
+        std::ostringstream msg;
+        msg << "wait-for cycle among communication ops in "
+            << orig.block(ob).label() << ":";
+        for (int idx : cycle) {
+            const Event &e = events[idx];
+            msg << " T" << e.thread
+                << (e.produce ? " produce(q" : " consume(q") << e.queue
+                << ")";
+        }
+        diags.push_back({.code = MtvCode::DeadlockCycle,
+                         .block = ob,
+                         .queue = events[cycle.front()].queue,
+                         .message = msg.str()});
+    }
+}
+
+} // namespace gmt

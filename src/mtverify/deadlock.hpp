@@ -1,0 +1,37 @@
+#ifndef GMT_MTVERIFY_DEADLOCK_HPP
+#define GMT_MTVERIFY_DEADLOCK_HPP
+
+/**
+ * @file
+ * Theorem 3 of the MT verifier: deadlock freedom.
+ *
+ * For each original block we build the happens-before graph over the
+ * communication events that all threads execute while traversing that
+ * block: program-order edges within a thread, match edges from the
+ * k-th produce on a queue to the k-th consume (a consume cannot
+ * complete before its value exists), and capacity edges from the k-th
+ * consume back to the (k+capacity)-th produce (a produce blocks until
+ * the synchronization array has room). A cycle in this graph means no
+ * interleaving can make progress through the block — a guaranteed
+ * deadlock, e.g. two threads that each consume what the other has not
+ * yet produced. Because every edge is a real blocking constraint, a
+ * reported cycle is never a false positive.
+ */
+
+#include <vector>
+
+#include "mtverify/diag.hpp"
+#include "mtverify/thread_map.hpp"
+#include "runtime/mt_interpreter.hpp"
+
+namespace gmt
+{
+
+/** Run the per-block wait-for cycle check. */
+void checkDeadlockFreedom(const Function &orig, const MtProgram &prog,
+                          const std::vector<ThreadCodeMap> &maps,
+                          std::vector<MtvDiag> &diags);
+
+} // namespace gmt
+
+#endif // GMT_MTVERIFY_DEADLOCK_HPP

@@ -1,0 +1,102 @@
+#include "mtverify/diag.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+std::string_view
+mtvCodeName(MtvCode code)
+{
+    switch (code) {
+      case MtvCode::Structural:            return "structural";
+      case MtvCode::DepUncovered:          return "dep-uncovered";
+      case MtvCode::DepIntraThreadOrder:   return "dep-intra-order";
+      case MtvCode::ControlUncovered:      return "control-uncovered";
+      case MtvCode::MissingInstr:          return "missing-instr";
+      case MtvCode::MangledInstr:          return "mangled-instr";
+      case MtvCode::OrphanInstr:           return "orphan-instr";
+      case MtvCode::InstrWrongBlock:       return "instr-wrong-block";
+      case MtvCode::InterfaceMismatch:     return "interface-mismatch";
+      case MtvCode::DupFlagWrong:          return "dup-flag-wrong";
+      case MtvCode::BlockMapBroken:        return "block-map-broken";
+      case MtvCode::MissingProduce:        return "missing-produce";
+      case MtvCode::MissingConsume:        return "missing-consume";
+      case MtvCode::MissingSyncToken:      return "missing-sync-token";
+      case MtvCode::ExtraComm:             return "extra-comm";
+      case MtvCode::QueueMismatch:         return "queue-mismatch";
+      case MtvCode::RegMismatch:           return "reg-mismatch";
+      case MtvCode::CommKindMismatch:      return "comm-kind-mismatch";
+      case MtvCode::BadQueueId:            return "bad-queue-id";
+      case MtvCode::QueueEndpointConflict: return "queue-endpoint-conflict";
+      case MtvCode::QueueImbalance:        return "queue-imbalance";
+      case MtvCode::TokenKindMismatch:     return "token-kind-mismatch";
+      case MtvCode::DeadlockCycle:         return "deadlock-cycle";
+      case MtvCode::PlanInvalidPoint:      return "plan-invalid-point";
+      case MtvCode::PlanSourceIrrelevant:  return "plan-source-irrelevant";
+      case MtvCode::PlanUnsafePoint:       return "plan-unsafe-point";
+      case MtvCode::PlanUncoveredArc:      return "plan-uncovered-arc";
+    }
+    panic("unknown MtvCode ", static_cast<int>(code));
+}
+
+std::string_view
+mtvSeverityName(MtvSeverity sev)
+{
+    return sev == MtvSeverity::Error ? "error" : "warning";
+}
+
+std::string
+renderDiag(const MtvDiag &d)
+{
+    std::ostringstream os;
+    os << '[' << mtvSeverityName(d.severity) << ' '
+       << mtvCodeName(d.code) << ']';
+    if (d.thread >= 0)
+        os << " T" << d.thread;
+    if (d.block != kNoBlock) {
+        os << " B" << d.block;
+        if (d.pos >= 0)
+            os << ':' << d.pos;
+    }
+    if (d.instr != kNoInstr)
+        os << " i" << d.instr;
+    if (d.queue != kNoQueue)
+        os << " q" << d.queue;
+    os << ": " << d.message;
+    return os.str();
+}
+
+void
+dedupeDiags(std::vector<MtvDiag> &diags)
+{
+    std::set<std::tuple<int, int, int, BlockId, int, InstrId, QueueId,
+                        std::string>>
+        seen;
+    std::vector<MtvDiag> unique;
+    unique.reserve(diags.size());
+    for (auto &d : diags) {
+        auto key = std::make_tuple(
+            static_cast<int>(d.code), static_cast<int>(d.severity),
+            d.thread, d.block, d.pos, d.instr, d.queue, d.message);
+        if (seen.insert(std::move(key)).second)
+            unique.push_back(std::move(d));
+    }
+    diags = std::move(unique);
+}
+
+int
+countErrors(const std::vector<MtvDiag> &diags)
+{
+    return static_cast<int>(
+        std::count_if(diags.begin(), diags.end(), [](const MtvDiag &d) {
+            return d.severity == MtvSeverity::Error;
+        }));
+}
+
+} // namespace gmt

@@ -1,0 +1,111 @@
+#ifndef GMT_MTVERIFY_DIAG_HPP
+#define GMT_MTVERIFY_DIAG_HPP
+
+/**
+ * @file
+ * Structured diagnostics for the MT verifier (and for the plan
+ * validator in coco/validate.hpp, which shares the code space).
+ *
+ * Every finding carries a stable machine-readable code, a severity,
+ * and coordinates into the *original* function's CFG — thread index,
+ * block, position, instruction, queue — so a failure is attributable
+ * without re-running anything under a debugger, and so the mutation
+ * harness in tests/test_mtverify.cpp can assert that a specific bug
+ * class trips a specific code.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+
+namespace gmt
+{
+
+/** Severity of a finding. Errors fail verify-mt; warnings only fail
+ *  gmt-lint under --werror. */
+enum class MtvSeverity { Error, Warning };
+
+/** Stable diagnostic codes, grouped by the check that emits them. */
+enum class MtvCode {
+    // Structural (per-thread IR verifier findings, re-wrapped).
+    Structural,
+
+    // Theorem 1: dependence preservation.
+    DepUncovered,        ///< cross-thread PDG arc has an uncovered path
+    DepIntraThreadOrder, ///< intra-thread copies out of original order
+    ControlUncovered,    ///< control arc target thread lacks the branch
+    MissingInstr,        ///< owned original instruction has no copy
+    MangledInstr,        ///< copy disagrees with the original's fields
+    OrphanInstr,         ///< emitted instruction maps to no valid origin
+    InstrWrongBlock,     ///< copy emitted into the wrong block's image
+    InterfaceMismatch,   ///< params/live-outs disagree with the original
+    DupFlagWrong,        ///< duplicated-branch flag mislabeled (warning)
+    BlockMapBroken,      ///< emitted block unmappable to an original
+
+    // Theorem 1, emission fidelity against the communication plan.
+    MissingProduce,   ///< plan point lacks its produce
+    MissingConsume,   ///< plan point lacks its consume
+    MissingSyncToken, ///< plan point lacks its memory-sync token
+    ExtraComm,        ///< communication op not justified by any point
+    QueueMismatch,    ///< op carries a different queue than assigned
+    RegMismatch,      ///< op carries a different register than planned
+    CommKindMismatch, ///< data op where a sync op belongs (or reverse)
+
+    // Theorem 2: queue balance (emitted code only, plan-independent).
+    BadQueueId,            ///< queue id outside [0, num_queues)
+    QueueEndpointConflict, ///< queue produced/consumed by wrong threads
+    QueueImbalance,        ///< produce/consume counts diverge on a path
+    TokenKindMismatch,     ///< matched ops disagree data vs sync
+
+    // Theorem 3: deadlock freedom.
+    DeadlockCycle, ///< wait-for cycle not broken by queue capacity
+
+    // Plan validation (coco/validate.cpp).
+    PlanInvalidPoint,     ///< placement point outside the CFG
+    PlanSourceIrrelevant, ///< Property 2 violated
+    PlanUnsafePoint,      ///< Property 3 violated
+    PlanUncoveredArc,     ///< cross-thread arc not cut on every path
+};
+
+/** Stable kebab-case name of a code (JSON output, test assertions). */
+std::string_view mtvCodeName(MtvCode code);
+
+/** "error" / "warning". */
+std::string_view mtvSeverityName(MtvSeverity sev);
+
+/**
+ * One finding. Coordinates refer to the ORIGINAL function's CFG
+ * (block/pos/instr) plus the emitted thread index; any field may be
+ * absent (-1 / kNoBlock / kNoInstr / kNoQueue) when not applicable.
+ */
+struct MtvDiag
+{
+    MtvCode code = MtvCode::Structural;
+    MtvSeverity severity = MtvSeverity::Error;
+    int thread = -1;
+    BlockId block = kNoBlock;
+    int pos = -1;
+    InstrId instr = kNoInstr;
+    QueueId queue = kNoQueue;
+    std::string message;
+
+    bool operator==(const MtvDiag &) const = default;
+};
+
+/** "[error dep-uncovered] T1 B3:2 i17 q5: message". */
+std::string renderDiag(const MtvDiag &d);
+
+/**
+ * Drop exact repeats, preserving first-occurrence order. (The same
+ * root cause frequently surfaces once per affected point; one report
+ * per distinct finding keeps logs readable.)
+ */
+void dedupeDiags(std::vector<MtvDiag> &diags);
+
+/** Number of entries at Error severity. */
+int countErrors(const std::vector<MtvDiag> &diags);
+
+} // namespace gmt
+
+#endif // GMT_MTVERIFY_DIAG_HPP

@@ -1,0 +1,62 @@
+#include "mtverify/thread_map.hpp"
+
+namespace gmt
+{
+
+ThreadCodeMap
+buildThreadCodeMap(const Function &orig, const Function &emitted,
+                   int thread, std::vector<MtvDiag> &diags)
+{
+    ThreadCodeMap map;
+    map.thread = thread;
+    map.orig_block.assign(emitted.numBlocks(), kNoBlock);
+    map.emitted_block.assign(orig.numBlocks(), kNoBlock);
+    map.copies_of.assign(orig.numInstrs(), {});
+
+    auto complain = [&](BlockId eb, std::string msg) {
+        diags.push_back({.code = MtvCode::BlockMapBroken,
+                         .thread = thread,
+                         .block = eb,
+                         .message = std::move(msg)});
+        map.broken = true;
+    };
+
+    for (BlockId eb = 0; eb < emitted.numBlocks(); ++eb) {
+        InstrId term = emitted.block(eb).terminator();
+        if (term == kNoInstr) {
+            complain(eb, "emitted block is empty");
+            continue;
+        }
+        InstrId o = emitted.instr(term).origin;
+        if (o == kNoInstr || o < 0 || o >= orig.numInstrs()) {
+            complain(eb, "terminator has no valid origin");
+            continue;
+        }
+        if (!orig.instr(o).isTerminator()) {
+            complain(eb, "terminator origin is not a terminator");
+            continue;
+        }
+        BlockId ob = orig.instr(o).block;
+        if (map.emitted_block[ob] != kNoBlock) {
+            complain(eb, "two emitted blocks map to original block " +
+                             orig.block(ob).label());
+            continue;
+        }
+        map.orig_block[eb] = ob;
+        map.emitted_block[ob] = eb;
+    }
+
+    // Only instructions reachable through a block list are part of
+    // the program; the arena may hold detached leftovers.
+    for (BlockId eb = 0; eb < emitted.numBlocks(); ++eb) {
+        for (InstrId ei : emitted.block(eb).instrs()) {
+            InstrId o = emitted.instr(ei).origin;
+            if (o >= 0 && o < orig.numInstrs())
+                map.copies_of[o].push_back(ei);
+        }
+    }
+
+    return map;
+}
+
+} // namespace gmt

@@ -1,0 +1,53 @@
+#ifndef GMT_MTVERIFY_THREAD_MAP_HPP
+#define GMT_MTVERIFY_THREAD_MAP_HPP
+
+/**
+ * @file
+ * Mapping from one emitted thread function back to the original
+ * function, reconstructed from the `origin` back-references MTCG
+ * stamps on every copy. Every emitted block's terminator is a copy of
+ * the original block's terminator, so the block image is recoverable
+ * even for blocks holding nothing but communication ops. All the
+ * mtverify checks consume this map; none of them trust MTCG's own
+ * bookkeeping beyond the per-instruction origin field itself.
+ */
+
+#include <vector>
+
+#include "ir/function.hpp"
+#include "mtverify/diag.hpp"
+
+namespace gmt
+{
+
+/** Back-mapping of one emitted thread function. */
+struct ThreadCodeMap
+{
+    int thread = 0;
+
+    /** emitted block -> original block (kNoBlock if unmappable). */
+    std::vector<BlockId> orig_block;
+
+    /** original block -> emitted block (kNoBlock if not needed). */
+    std::vector<BlockId> emitted_block;
+
+    /** original instr -> emitted InstrIds carrying that origin. */
+    std::vector<std::vector<InstrId>> copies_of;
+
+    /** Some block could not be mapped; downstream checks that need
+     *  the block image skip what they cannot see. */
+    bool broken = false;
+};
+
+/**
+ * Build the map for thread @p thread of the program. Structural
+ * problems (terminator without origin, two emitted blocks claiming
+ * the same original) are reported into @p diags as BlockMapBroken.
+ */
+ThreadCodeMap buildThreadCodeMap(const Function &orig,
+                                 const Function &emitted, int thread,
+                                 std::vector<MtvDiag> &diags);
+
+} // namespace gmt
+
+#endif // GMT_MTVERIFY_THREAD_MAP_HPP

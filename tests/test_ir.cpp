@@ -142,6 +142,88 @@ TEST(IrVerifier, VerifyOrDieThrows)
     EXPECT_THROW(verifyOrDie(f), FatalError);
 }
 
+TEST(IrVerifier, QueueIdRangeChecked)
+{
+    FunctionBuilder b("qrange");
+    BlockId bb = b.newBlock("b");
+    b.setBlock(bb);
+    Reg v = b.constI(1);
+    b.func().append(bb, {.op = Opcode::Produce, .src1 = v, .queue = 3});
+    b.ret();
+    Function f = b.finish();
+    EXPECT_TRUE(verifyFunction(f, {.num_queues = 4}).empty());
+    auto problems = verifyFunction(f, {.num_queues = 2});
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("outside allocated range"),
+              std::string::npos);
+}
+
+TEST(IrVerifier, QueueUsedInBothRoles)
+{
+    // Pre-multiplexing, a thread is one endpoint of each of its
+    // queues: producing and consuming the same id is a bug.
+    FunctionBuilder b("qroles");
+    BlockId bb = b.newBlock("b");
+    b.setBlock(bb);
+    Reg v = b.constI(1);
+    b.func().append(bb, {.op = Opcode::Produce, .src1 = v, .queue = 0});
+    b.func().append(
+        bb, {.op = Opcode::Consume, .dst = b.func().newReg(), .queue = 0});
+    b.ret();
+    Function f = b.finish();
+    EXPECT_TRUE(verifyFunction(f).empty()); // not checked by default
+    auto problems = verifyFunction(f, {.unique_placement_queues = true});
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("both producer and consumer"),
+              std::string::npos);
+}
+
+TEST(IrVerifier, QueueSharedByTwoPlacements)
+{
+    // Same role, same queue, different registers: two placements were
+    // assigned one queue id.
+    FunctionBuilder b("qshare");
+    BlockId bb = b.newBlock("b");
+    b.setBlock(bb);
+    Reg v = b.constI(1);
+    Reg w = b.constI(2);
+    b.func().append(bb, {.op = Opcode::Produce, .src1 = v, .queue = 0});
+    b.func().append(bb, {.op = Opcode::Produce, .src1 = w, .queue = 0});
+    b.ret();
+    Function f = b.finish();
+    auto problems = verifyFunction(f, {.unique_placement_queues = true});
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("two placements on one queue"),
+              std::string::npos);
+
+    // Repeating the *same* placement's op at several points is fine.
+    FunctionBuilder b2("qrepeat");
+    BlockId cc = b2.newBlock("b");
+    b2.setBlock(cc);
+    Reg u = b2.constI(1);
+    b2.func().append(cc, {.op = Opcode::Produce, .src1 = u, .queue = 0});
+    b2.func().append(cc, {.op = Opcode::Produce, .src1 = u, .queue = 0});
+    b2.ret();
+    Function f2 = b2.finish();
+    EXPECT_TRUE(
+        verifyFunction(f2, {.unique_placement_queues = true}).empty());
+}
+
+TEST(IrVerifier, VerifyOrDieNamesFunctionAndContext)
+{
+    FunctionBuilder b("culprit");
+    b.newBlock("b"); // empty block: invalid
+    Function f = b.finish();
+    try {
+        verifyOrDie(f, {}, "unit-test stage");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("@culprit"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("unit-test stage"), std::string::npos) << msg;
+    }
+}
+
 TEST(IrPrinter, ContainsMnemonicsAndLabels)
 {
     Function f = buildLoopSum();

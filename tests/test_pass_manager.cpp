@@ -26,7 +26,7 @@ namespace
 const std::vector<std::string> kStandardPasses = {
     "build-ir", "edge-split", "verify",      "profile",
     "pdg",      "partition",  "placement",   "mtcg",
-    "queue-alloc", "mt-run",  "sim"};
+    "queue-alloc", "verify-mt", "mt-run",    "sim"};
 
 TEST(PassManager, StandardPipelineOrder)
 {
@@ -333,7 +333,7 @@ TEST(Stats, SinkWritesOneRecordPerPassAndCell)
     po.scheduler = Scheduler::Gremio;
     runner.runAll({{makeAdpcmDec(), po}});
 
-    // 11 pass records + 1 cell record.
+    // 12 pass records + 1 cell record.
     EXPECT_EQ(sink.recordsWritten(), kStandardPasses.size() + 1);
     std::istringstream in(out.str());
     std::string line;
