@@ -1,5 +1,7 @@
 #include "analysis/mem_dep.hpp"
 
+#include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "support/bit_vector.hpp"
@@ -61,9 +63,45 @@ computeMemDeps(const Function &f)
         return reach[i.block].test(j.block);
     };
 
+    // Bucket accesses by alias class so the pair scan only visits
+    // combinations that can alias: a specific class pairs with itself
+    // and with kAliasAny, never with another specific class. Buckets
+    // hold collection indices in increasing order, and candidates are
+    // merged back into collection order, so the emitted dependences
+    // and their order are exactly those of the all-pairs scan.
+    const int na = static_cast<int>(accesses.size());
+    std::unordered_map<AliasClass, std::vector<int>> by_class;
+    std::vector<int> any_class;
+    for (int k = 0; k < na; ++k) {
+        if (accesses[k].alias == kAliasAny)
+            any_class.push_back(k);
+        else
+            by_class[accesses[k].alias].push_back(k);
+    }
+
     std::vector<MemDep> deps;
-    for (const auto &i : accesses) {
-        for (const auto &j : accesses) {
+    std::vector<int> merged;
+    for (int ii = 0; ii < na; ++ii) {
+        const auto &i = accesses[ii];
+
+        const std::vector<int> *candidates;
+        if (i.alias == kAliasAny) {
+            // kAliasAny may alias everything: scan all of them.
+            candidates = nullptr;
+        } else {
+            const std::vector<int> &same = by_class[i.alias];
+            merged.clear();
+            merged.reserve(same.size() + any_class.size());
+            std::merge(same.begin(), same.end(), any_class.begin(),
+                       any_class.end(), std::back_inserter(merged));
+            candidates = &merged;
+        }
+
+        const int nj =
+            candidates ? static_cast<int>(candidates->size()) : na;
+        for (int jj = 0; jj < nj; ++jj) {
+            const auto &j =
+                accesses[candidates ? (*candidates)[jj] : jj];
             if (i.id == j.id)
                 continue;
             if (!i.is_store && !j.is_store)

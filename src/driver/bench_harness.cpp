@@ -21,7 +21,7 @@ usage(const char *argv0, int exit_code)
         stderr,
         "usage: %s [--jobs N] [--serial] [--no-cache] "
         "[--stats FILE] [--only W1,W2,...] [--quiet] "
-        "[--no-mtverify]\n",
+        "[--no-mtverify] [--sim fast|reference]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -72,6 +72,20 @@ parseBenchOptions(int argc, char **argv)
             opts.quiet = true;
         else if (arg == "--no-mtverify")
             opts.verify_mt = false;
+        else if (arg == "--sim") {
+            std::string engine = value();
+            if (engine == "fast")
+                opts.sim_engine = SimEngine::Fast;
+            else if (engine == "reference")
+                opts.sim_engine = SimEngine::Reference;
+            else {
+                std::fprintf(stderr,
+                             "%s: --sim wants 'fast' or 'reference', "
+                             "got '%s'\n",
+                             argv[0], engine.c_str());
+                usage(argv[0], 2);
+            }
+        }
         else if (arg == "--help" || arg == "-h")
             usage(argv[0], 0);
         else {
@@ -139,9 +153,11 @@ std::vector<PipelineResult>
 BenchHarness::runAll(const std::vector<ExperimentCell> &cells)
 {
     std::vector<ExperimentCell> batch = cells;
-    if (!opts_.verify_mt)
-        for (ExperimentCell &cell : batch)
+    for (ExperimentCell &cell : batch) {
+        if (!opts_.verify_mt)
             cell.opts.verify_mt = false;
+        cell.opts.sim_engine = opts_.sim_engine;
+    }
     auto results = runner_->runAll(batch);
     if (!opts_.quiet) {
         const ExperimentSummary &s = runner_->summary();

@@ -14,6 +14,8 @@
  *   --only CSV      restrict to the named workloads (e.g. ks,mcf)
  *   --quiet         suppress the run summary line
  *   --no-mtverify   skip the static verify-mt pass on generated code
+ *   --sim ENGINE    timing engine: fast (default) or reference (the
+ *                   lock-step loop, for differential testing)
  */
 
 #include <memory>
@@ -35,6 +37,7 @@ struct BenchOptions
     std::vector<std::string> only; ///< empty = all workloads
     bool quiet = false;
     bool verify_mt = true;
+    SimEngine sim_engine = SimEngine::Fast;
 };
 
 /**

@@ -119,7 +119,7 @@ queueAllocKey(const PipelineContext &ctx)
 }
 
 std::string
-machineKey(const MachineConfig &m)
+coreMachineKey(const MachineConfig &m)
 {
     auto cache = [](const CacheConfig &c) {
         return std::to_string(c.size_bytes) + ',' +
@@ -134,9 +134,14 @@ machineKey(const MachineConfig &m)
            std::to_string(m.mul_latency) + ';' +
            std::to_string(m.div_latency) + ';' + cache(m.l1d) + ';' +
            cache(m.l2) + ';' + cache(m.l3) + ';' +
-           std::to_string(m.memory_latency) + ';' +
-           std::to_string(m.sa_queues) + ';' +
-           std::to_string(m.sa_ports) + ';' +
+           std::to_string(m.memory_latency);
+}
+
+std::string
+machineKey(const MachineConfig &m)
+{
+    return coreMachineKey(m) + ';' + std::to_string(m.sa_queues) +
+           ';' + std::to_string(m.sa_ports) + ';' +
            std::to_string(m.sa_latency) + ';' +
            std::to_string(m.queue_capacity);
 }
@@ -574,6 +579,26 @@ passMtRun(PipelineContext &ctx, PassStats &ps)
                                 ctx.mt_run->mem_sync));
 }
 
+/** One JSONL record per simulation actually executed (not cached). */
+void
+emitSimRecord(PipelineContext &ctx, const char *which,
+              const SimResult &r)
+{
+    if (!ctx.stats)
+        return;
+    JsonObject rec;
+    rec.str("type", "sim")
+        .str("cell", ctx.cellId())
+        .str("which", which)
+        .str("engine", simEngineName(r.engine.engine))
+        .num("cycles", r.cycles)
+        .num("iterations", r.engine.iterations)
+        .num("skipped_cycles", r.engine.skipped)
+        .num("skip_ratio", r.engine.skipRatio())
+        .num("wall_ms", r.engine.wall_ms);
+    ctx.stats->write(rec);
+}
+
 void
 passSim(PipelineContext &ctx, PassStats &ps)
 {
@@ -583,24 +608,56 @@ passSim(PipelineContext &ctx, PassStats &ps)
     }
     const Workload &w = *ctx.workload;
     const MachineConfig cfg = ctx.opts.machine;
-    const std::string mkey = machineKey(cfg);
+    const SimEngine engine = ctx.opts.sim_engine;
+    // The ST baseline never touches the sync array, so it is keyed
+    // on the SA-free machine prefix and shared across SA sweeps.
+    // The engines' results are bit-identical, but the artifacts also
+    // carry engine meta-stats — keep the cache entries apart.
+    const std::string esuf =
+        engine == SimEngine::Reference ? "|ref" : "";
+    const std::string core_mkey = coreMachineKey(cfg) + esuf;
+    const std::string mkey = machineKey(cfg) + esuf;
     auto st_ref = ctx.st_ref;
 
     bool st_sim_hit = false;
     {
         PassStats sub;
         auto ir = ctx.ir;
+        if (engine == SimEngine::Fast) {
+            // Decoding is machine-independent: one artifact per
+            // workload serves every machine config.
+            ctx.st_decoded = ctx.cached<StDecodedArtifact>(
+                "stdecode|" + w.name,
+                [&, ir]() -> std::shared_ptr<const StDecodedArtifact> {
+                    MtProgram p;
+                    p.threads.push_back(ir->func);
+                    p.num_queues = 0;
+                    auto art = std::make_shared<StDecodedArtifact>();
+                    art->prog = decodeProgram(p);
+                    return art;
+                },
+                sub);
+        }
+        auto st_dec = ctx.st_decoded;
         ctx.st_sim = ctx.cached<StSimArtifact>(
-            "stsim|" + w.name + '|' + mkey,
-            [&, ir, st_ref]() -> std::shared_ptr<const StSimArtifact> {
+            "stsim|" + w.name + '|' + core_mkey,
+            [&, ir, st_ref,
+             st_dec]() -> std::shared_ptr<const StSimArtifact> {
                 MemoryImage mem = workloadMemory(w, /*ref=*/true);
-                auto st_sim = simulateSingleThreaded(ir->func,
-                                                     w.ref_args, mem,
-                                                     cfg);
+                SimResult st_sim;
+                if (st_dec) {
+                    CmpSimulator sim(cfg, engine);
+                    st_sim = sim.run(st_dec->prog, w.ref_args, mem);
+                } else {
+                    st_sim = simulateSingleThreaded(
+                        ir->func, w.ref_args, mem, cfg, engine);
+                }
                 GMT_ASSERT(st_sim.live_outs == st_ref->live_outs,
                            "timing sim ST mismatch");
+                emitSimRecord(ctx, "st", st_sim);
                 auto art = std::make_shared<StSimArtifact>();
                 art->cycles = st_sim.cycles;
+                art->engine = st_sim.engine;
                 return art;
             },
             sub);
@@ -608,22 +665,44 @@ passSim(PipelineContext &ctx, PassStats &ps)
     }
 
     auto prog = ctx.prog;
+    if (engine == SimEngine::Fast) {
+        PassStats sub;
+        ctx.mt_decoded = ctx.cached<MtDecodedArtifact>(
+            "decoded|" + queueAllocKey(ctx),
+            [&, prog]() -> std::shared_ptr<const MtDecodedArtifact> {
+                auto art = std::make_shared<MtDecodedArtifact>();
+                art->prog = decodeProgram(prog->prog);
+                return art;
+            },
+            sub);
+    }
+    auto mt_dec = ctx.mt_decoded;
     ctx.mt_sim = ctx.cached<MtSimArtifact>(
         "mtsim|" + queueAllocKey(ctx) + '|' + mkey,
-        [&, prog, st_ref]() -> std::shared_ptr<const MtSimArtifact> {
+        [&, prog, st_ref,
+         mt_dec]() -> std::shared_ptr<const MtSimArtifact> {
             MemoryImage mem = workloadMemory(w, /*ref=*/true);
-            CmpSimulator sim(cfg);
-            auto mt_sim = sim.run(prog->prog, w.ref_args, mem);
+            CmpSimulator sim(cfg, engine);
+            auto mt_sim = mt_dec
+                              ? sim.run(mt_dec->prog, w.ref_args, mem)
+                              : sim.run(prog->prog, w.ref_args, mem);
             GMT_ASSERT(mt_sim.live_outs == st_ref->live_outs,
                        "timing sim MT mismatch");
+            emitSimRecord(ctx, "mt", mt_sim);
             auto art = std::make_shared<MtSimArtifact>();
             art->cycles = mt_sim.cycles;
+            art->engine = mt_sim.engine;
             return art;
         },
         ps);
     ps.add("stsim_cached", st_sim_hit ? 1 : 0);
     ps.add("st_cycles", static_cast<int64_t>(ctx.st_sim->cycles));
     ps.add("mt_cycles", static_cast<int64_t>(ctx.mt_sim->cycles));
+    ps.add("engine_fast", engine == SimEngine::Fast ? 1 : 0);
+    ps.add("mt_sim_iterations",
+           static_cast<int64_t>(ctx.mt_sim->engine.iterations));
+    ps.add("mt_sim_skipped",
+           static_cast<int64_t>(ctx.mt_sim->engine.skipped));
 }
 
 } // namespace

@@ -126,14 +126,32 @@ struct MtRunArtifact
     uint64_t mem_sync = 0;
 };
 
+/**
+ * Pre-decoded instruction streams for the fast timing engine.
+ * Decoding is machine-independent (sim/decoded_program.hpp), so the
+ * artifacts are keyed on the program alone and shared across every
+ * point of a machine-parameter sweep (ablate_comm_latency etc.).
+ */
+struct StDecodedArtifact
+{
+    DecodedProgram prog; ///< the single-threaded original, 1 thread
+};
+
+struct MtDecodedArtifact
+{
+    DecodedProgram prog;
+};
+
 struct StSimArtifact
 {
     uint64_t cycles = 0;
+    SimEngineStats engine;
 };
 
 struct MtSimArtifact
 {
     uint64_t cycles = 0;
+    SimEngineStats engine;
 };
 
 /**
@@ -166,6 +184,8 @@ struct PipelineContext
     std::shared_ptr<const ProgramArtifact> prog;
     std::shared_ptr<const StRefArtifact> st_ref;
     std::shared_ptr<const MtRunArtifact> mt_run;
+    std::shared_ptr<const StDecodedArtifact> st_decoded;
+    std::shared_ptr<const MtDecodedArtifact> mt_decoded;
     std::shared_ptr<const StSimArtifact> st_sim;
     std::shared_ptr<const MtSimArtifact> mt_sim;
 
@@ -257,6 +277,15 @@ std::string planKey(const PipelineContext &ctx);
 std::string mtcgKey(const PipelineContext &ctx);
 std::string queueAllocKey(const PipelineContext &ctx);
 std::string machineKey(const MachineConfig &m);
+
+/**
+ * machineKey minus the synchronization-array axes (sa_queues,
+ * sa_ports, sa_latency, queue_capacity). A single-threaded run never
+ * touches the sync array, so its simulation artifact is keyed on
+ * this prefix and shared across SA-parameter sweeps
+ * (ablate_comm_latency, ablate_queue_size).
+ */
+std::string coreMachineKey(const MachineConfig &m);
 
 /** Resolved queue capacity (option override or per-scheduler default). */
 int resolvedQueueCapacity(const PipelineOptions &opts);

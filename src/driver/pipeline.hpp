@@ -17,6 +17,7 @@
 #include <string>
 
 #include "coco/coco.hpp"
+#include "sim/cmp_simulator.hpp"
 #include "sim/machine_config.hpp"
 #include "workloads/workload.hpp"
 
@@ -43,6 +44,14 @@ struct PipelineOptions
     /** Run the timing simulation (skippable for instruction-count
      *  only experiments). */
     bool simulate = true;
+
+    /**
+     * Timing-simulator engine: the event-driven fast path by
+     * default, or the lock-step reference loop (--sim=reference in
+     * the bench harness) for differential testing. Results are
+     * bit-identical by contract.
+     */
+    SimEngine sim_engine = SimEngine::Fast;
 
     /**
      * Queue depth override; 0 picks the paper's per-scheduler default

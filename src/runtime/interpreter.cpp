@@ -16,38 +16,6 @@ ProfileData::edgeCount(BlockId from, int succ_slot) const
     return slots[succ_slot];
 }
 
-int64_t
-evalAlu(Opcode op, int64_t a, int64_t b, int64_t imm)
-{
-    switch (op) {
-      case Opcode::Const: return imm;
-      case Opcode::Mov: return a;
-      case Opcode::Add: return a + b;
-      case Opcode::Sub: return a - b;
-      case Opcode::Mul: return a * b;
-      case Opcode::Div: return b == 0 ? 0 : a / b;
-      case Opcode::Rem: return b == 0 ? 0 : a % b;
-      case Opcode::And: return a & b;
-      case Opcode::Or: return a | b;
-      case Opcode::Xor: return a ^ b;
-      case Opcode::Shl: return a << (b & 63);
-      case Opcode::Shr: return a >> (b & 63);
-      case Opcode::Neg: return -a;
-      case Opcode::Not: return ~a;
-      case Opcode::Min: return a < b ? a : b;
-      case Opcode::Max: return a > b ? a : b;
-      case Opcode::Abs: return a < 0 ? -a : a;
-      case Opcode::CmpEq: return a == b;
-      case Opcode::CmpNe: return a != b;
-      case Opcode::CmpLt: return a < b;
-      case Opcode::CmpLe: return a <= b;
-      case Opcode::CmpGt: return a > b;
-      case Opcode::CmpGe: return a >= b;
-      default:
-        panic("evalAlu on non-ALU opcode ", opcodeName(op));
-    }
-}
-
 StRunResult
 interpret(const Function &f, const std::vector<int64_t> &args,
           MemoryImage &mem, uint64_t max_steps)

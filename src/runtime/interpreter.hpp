@@ -15,6 +15,7 @@
 
 #include "ir/function.hpp"
 #include "runtime/memory_image.hpp"
+#include "support/error.hpp"
 
 namespace gmt
 {
@@ -43,8 +44,50 @@ struct StRunResult
     ProfileData profile;
 };
 
-/** Evaluate a non-control, non-memory, non-queue opcode. */
-int64_t evalAlu(Opcode op, int64_t a, int64_t b, int64_t imm);
+/**
+ * Evaluate a non-control, non-memory, non-queue opcode. Inline: every
+ * interpreter and timing engine pays this per dynamic instruction.
+ */
+inline int64_t
+evalAlu(Opcode op, int64_t a, int64_t b, int64_t imm)
+{
+    // The IR's i64 wraps on overflow; compute wrap-prone ops in
+    // uint64_t, where wraparound is defined, and cast back.
+    const uint64_t ua = static_cast<uint64_t>(a);
+    const uint64_t ub = static_cast<uint64_t>(b);
+    switch (op) {
+      case Opcode::Const: return imm;
+      case Opcode::Mov: return a;
+      case Opcode::Add: return static_cast<int64_t>(ua + ub);
+      case Opcode::Sub: return static_cast<int64_t>(ua - ub);
+      case Opcode::Mul: return static_cast<int64_t>(ua * ub);
+      case Opcode::Div:
+        if (b == 0) return 0;
+        if (b == -1) return static_cast<int64_t>(0 - ua);
+        return a / b;
+      case Opcode::Rem:
+        return b == 0 || b == -1 ? 0 : a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return static_cast<int64_t>(ua << (b & 63));
+      case Opcode::Shr: return a >> (b & 63);
+      case Opcode::Neg: return static_cast<int64_t>(0 - ua);
+      case Opcode::Not: return ~a;
+      case Opcode::Min: return a < b ? a : b;
+      case Opcode::Max: return a > b ? a : b;
+      case Opcode::Abs:
+        return a < 0 ? static_cast<int64_t>(0 - ua) : a;
+      case Opcode::CmpEq: return a == b;
+      case Opcode::CmpNe: return a != b;
+      case Opcode::CmpLt: return a < b;
+      case Opcode::CmpLe: return a <= b;
+      case Opcode::CmpGt: return a > b;
+      case Opcode::CmpGe: return a >= b;
+      default:
+        panic("evalAlu on non-ALU opcode ", opcodeName(op));
+    }
+}
 
 /**
  * Execute @p f to completion.

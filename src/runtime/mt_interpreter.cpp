@@ -28,15 +28,69 @@ MtRunResult::totalCommunication() const
 namespace
 {
 
+/**
+ * One pre-flattened instruction: the fields the dispatch loop reads,
+ * plus control-flow targets resolved to flat indices. Fetch is one
+ * load instead of the block -> instr-id -> instr chain.
+ */
+struct FlatOp
+{
+    Opcode op;
+    bool duplicated;
+    Reg dst, src1, src2;
+    QueueId queue;
+    int64_t imm;
+    int32_t next = -1;   ///< Jmp target / Br taken target
+    int32_t br_not = -1; ///< Br not-taken target
+};
+
 /** Execution state of one thread. */
 struct ThreadState
 {
+    std::vector<FlatOp> code;
     std::vector<int64_t> regs;
-    BlockId block = kNoBlock;
-    int pos = 0;
+    std::vector<Reg> live_outs;
+    int32_t ip = 0;
     bool done = false;
     bool blocked = false; // blocked on queue since last progress
 };
+
+/** Flatten one thread function (same layout as sim's pre-decode). */
+void
+flattenThread(const Function &f, ThreadState &ts)
+{
+    const int nb = f.numBlocks();
+    std::vector<int32_t> block_start(nb, -1);
+    int32_t n = 0;
+    for (BlockId b = 0; b < nb; ++b) {
+        block_start[b] = n;
+        n += static_cast<int32_t>(f.block(b).size());
+    }
+    ts.code.reserve(n);
+    for (BlockId b = 0; b < nb; ++b) {
+        const BasicBlock &bb = f.block(b);
+        for (InstrId id : bb.instrs()) {
+            const Instr &in = f.instr(id);
+            FlatOp d;
+            d.op = in.op;
+            d.duplicated = in.duplicated;
+            d.dst = in.dst;
+            d.src1 = in.src1;
+            d.src2 = in.src2;
+            d.queue = in.queue;
+            d.imm = in.imm;
+            if (in.op == Opcode::Jmp) {
+                d.next = block_start[bb.succs()[0]];
+            } else if (in.op == Opcode::Br) {
+                d.next = block_start[bb.succs()[0]];
+                d.br_not = block_start[bb.succs()[1]];
+            }
+            ts.code.push_back(d);
+        }
+    }
+    ts.ip = block_start[f.entry()];
+    ts.live_outs = f.liveOuts();
+}
 
 } // namespace
 
@@ -57,6 +111,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
     std::vector<ThreadState> threads(num_threads);
     for (int t = 0; t < num_threads; ++t) {
         const Function &f = prog.threads[t];
+        flattenThread(f, threads[t]);
         threads[t].regs.assign(f.numRegs(), 0);
         // Live-ins are broadcast: every thread starts from the same
         // initial context, as with real thread-spawn semantics.
@@ -65,42 +120,35 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
                   f.params().size(), " args, got ", args.size());
         for (size_t i = 0; i < args.size(); ++i)
             threads[t].regs[f.params()[i]] = args[i];
-        threads[t].block = f.entry();
     }
 
     int live = num_threads;
+    // Live threads currently blocked on a queue; execution is wedged
+    // exactly when every live thread is blocked (O(1) check).
+    int blocked_live = 0;
     uint64_t steps = 0;
-
-    auto allBlockedOrDone = [&] {
-        for (const auto &ts : threads) {
-            if (!ts.done && !ts.blocked)
-                return false;
-        }
-        return true;
-    };
 
     int rr_next = 0;
     while (live > 0) {
-        if (allBlockedOrDone()) {
+        if (blocked_live == live) {
             result.deadlock = true;
             break;
         }
         // Pick a runnable thread.
         int t = -1;
         if (policy == SchedulePolicy::RoundRobin) {
+            int cand = rr_next;
             for (int k = 0; k < num_threads; ++k) {
-                int cand = (rr_next + k) % num_threads;
                 if (!threads[cand].done && !threads[cand].blocked) {
                     t = cand;
-                    rr_next = (cand + 1) % num_threads;
+                    rr_next = cand + 1 == num_threads ? 0 : cand + 1;
                     break;
                 }
+                cand = cand + 1 == num_threads ? 0 : cand + 1;
             }
         } else {
             // Uniform among runnable threads.
-            int runnable = 0;
-            for (const auto &ts : threads)
-                runnable += (!ts.done && !ts.blocked);
+            int runnable = live - blocked_live;
             uint64_t pick = rng.nextBelow(runnable);
             for (int cand = 0; cand < num_threads; ++cand) {
                 if (!threads[cand].done && !threads[cand].blocked &&
@@ -116,26 +164,29 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
             fatal("interpretMt: step limit exceeded");
 
         ThreadState &ts = threads[t];
-        const Function &f = prog.threads[t];
-        const BasicBlock &bb = f.block(ts.block);
-        const Instr &in = f.instr(bb.instrs()[ts.pos]);
+        const FlatOp &in = ts.code[ts.ip];
         ThreadStats &st = result.stats[t];
 
         auto unblockAll = [&] {
             // A queue transition may unblock peers; recheck lazily.
             for (auto &other : threads)
                 other.blocked = false;
+            blocked_live = 0;
+        };
+        auto block = [&] {
+            ts.blocked = true;
+            ++blocked_live;
         };
 
         bool advanced = true;
-        int next_slot = -1;
+        int32_t next_ip = ts.ip + 1;
         switch (in.op) {
           case Opcode::Produce:
             if (queues.produce(in.queue, ts.regs[in.src1])) {
                 ++st.produces;
                 unblockAll();
             } else {
-                ts.blocked = true;
+                block();
                 advanced = false;
             }
             break;
@@ -144,7 +195,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
                 ++st.produce_syncs;
                 unblockAll();
             } else {
-                ts.blocked = true;
+                block();
                 advanced = false;
             }
             break;
@@ -155,7 +206,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
                 ++st.consumes;
                 unblockAll();
             } else {
-                ts.blocked = true;
+                block();
                 advanced = false;
             }
             break;
@@ -166,7 +217,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
                 ++st.consume_syncs;
                 unblockAll();
             } else {
-                ts.blocked = true;
+                block();
                 advanced = false;
             }
             break;
@@ -180,7 +231,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
             ++st.computation;
             break;
           case Opcode::Br:
-            next_slot = (ts.regs[in.src1] != 0) ? 0 : 1;
+            next_ip = (ts.regs[in.src1] != 0) ? in.next : in.br_not;
             if (in.duplicated)
                 ++st.duplicated_branches;
             else
@@ -190,7 +241,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
             // Free pseudo-op: real code generation lays blocks out to
             // fall through; counting explicit jumps would charge the
             // block *structure* of a thread as computation.
-            next_slot = 0;
+            next_ip = in.next;
             break;
           case Opcode::Ret:
             ts.done = true;
@@ -198,7 +249,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
             ++st.computation;
             // The thread owning the original Ret declares the
             // live-outs; worker threads declare none.
-            for (Reg r : f.liveOuts())
+            for (Reg r : ts.live_outs)
                 result.live_outs.push_back(ts.regs[r]);
             break;
           default:
@@ -213,14 +264,7 @@ interpretMt(const MtProgram &prog, const std::vector<int64_t> &args,
             continue;
         if (!advanced)
             continue;
-        if (next_slot >= 0) {
-            ts.block = bb.succs()[next_slot];
-            ts.pos = 0;
-        } else {
-            ++ts.pos;
-            GMT_ASSERT(ts.pos < static_cast<int>(bb.size()),
-                       "fell off block without terminator");
-        }
+        ts.ip = next_ip;
     }
 
     result.queues_drained = queues.allDrained();

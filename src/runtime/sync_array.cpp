@@ -6,58 +6,18 @@ namespace gmt
 {
 
 SyncArray::SyncArray(int num_queues, int capacity)
-    : queues_(num_queues), capacity_(capacity)
+    : queues_(num_queues),
+      slots_(static_cast<size_t>(num_queues) * capacity, 0),
+      capacity_(capacity)
 {
     GMT_ASSERT(num_queues > 0 && capacity > 0);
-}
-
-bool
-SyncArray::produce(int queue, int64_t value)
-{
-    GMT_ASSERT(queue >= 0 && queue < numQueues(), "bad queue ", queue);
-    auto &q = queues_[queue];
-    if (static_cast<int>(q.size()) >= capacity_)
-        return false;
-    q.push_back(value);
-    ++total_produced_;
-    return true;
-}
-
-bool
-SyncArray::consume(int queue, int64_t &out)
-{
-    GMT_ASSERT(queue >= 0 && queue < numQueues(), "bad queue ", queue);
-    auto &q = queues_[queue];
-    if (q.empty())
-        return false;
-    out = q.front();
-    q.pop_front();
-    return true;
-}
-
-bool
-SyncArray::full(int queue) const
-{
-    return static_cast<int>(queues_[queue].size()) >= capacity_;
-}
-
-bool
-SyncArray::empty(int queue) const
-{
-    return queues_[queue].empty();
-}
-
-int
-SyncArray::occupancy(int queue) const
-{
-    return static_cast<int>(queues_[queue].size());
 }
 
 bool
 SyncArray::allDrained() const
 {
     for (const auto &q : queues_) {
-        if (!q.empty())
+        if (q.count != 0)
             return false;
     }
     return true;

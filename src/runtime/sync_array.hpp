@@ -9,10 +9,14 @@
  *
  * The paper's configuration: 256 queues of a single element for
  * GREMIO, 32-element queues for DSWP's pipeline decoupling.
+ *
+ * Storage is one flat ring-buffer arena (num_queues x capacity) and
+ * the hot produce/consume paths are inline: the MT interpreter calls
+ * them once per communication instruction.
  */
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 namespace gmt
@@ -32,14 +36,38 @@ class SyncArray
     int capacity() const { return capacity_; }
 
     /** Try to enqueue; @return false if the queue is full. */
-    bool produce(int queue, int64_t value);
+    bool produce(int queue, int64_t value)
+    {
+        Ring &q = queues_[queue];
+        if (q.count >= capacity_)
+            return false;
+        slots_[static_cast<size_t>(queue) * capacity_ + q.tail] = value;
+        q.tail = (q.tail + 1 == capacity_) ? 0 : q.tail + 1;
+        ++q.count;
+        ++total_produced_;
+        return true;
+    }
 
     /** Try to dequeue into @p out; @return false if empty. */
-    bool consume(int queue, int64_t &out);
+    bool consume(int queue, int64_t &out)
+    {
+        Ring &q = queues_[queue];
+        if (q.count == 0)
+            return false;
+        out = slots_[static_cast<size_t>(queue) * capacity_ + q.head];
+        q.head = (q.head + 1 == capacity_) ? 0 : q.head + 1;
+        --q.count;
+        return true;
+    }
 
-    bool full(int queue) const;
-    bool empty(int queue) const;
-    int occupancy(int queue) const;
+    bool full(int queue) const
+    {
+        return queues_[queue].count >= capacity_;
+    }
+
+    bool empty(int queue) const { return queues_[queue].count == 0; }
+
+    int occupancy(int queue) const { return queues_[queue].count; }
 
     /** True if every queue is empty (deadlock-freedom postcondition). */
     bool allDrained() const;
@@ -48,7 +76,13 @@ class SyncArray
     uint64_t totalProduced() const { return total_produced_; }
 
   private:
-    std::vector<std::deque<int64_t>> queues_;
+    struct Ring
+    {
+        int head = 0, tail = 0, count = 0;
+    };
+
+    std::vector<Ring> queues_;
+    std::vector<int64_t> slots_; ///< num_queues x capacity arena
     int capacity_;
     uint64_t total_produced_ = 0;
 };

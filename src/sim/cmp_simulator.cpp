@@ -1,6 +1,7 @@
 #include "sim/cmp_simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "runtime/interpreter.hpp"
 #include "support/error.hpp"
@@ -11,7 +12,7 @@ namespace gmt
 namespace
 {
 
-/** In-flight architectural state of one core. */
+/** In-flight architectural state of one core (reference engine). */
 struct CoreState
 {
     const Function *f = nullptr;
@@ -36,10 +37,68 @@ latencyOf(const MachineConfig &cfg, Opcode op)
     }
 }
 
+/**
+ * In-flight state of one core on the fast path. Beyond the
+ * architectural state, the core memoizes why it last failed to issue
+ * (its wait record): a core blocked on an operand knows the exact
+ * cycle it becomes actionable, and a core blocked on a queue records
+ * the queue's version stamp so the matching produce/consume (the
+ * only events that can unblock it) re-arm it. The wait records are
+ * what the cycle-skip engine reads to find the next event.
+ */
+struct FastCore
+{
+    enum class Wait : uint8_t {
+        None,       ///< must sweep next cycle (no proof of stall)
+        Operand,    ///< blocked until reg_ready: actionable at `wake`
+        QueueFull,  ///< produce blocked; re-armed by a version bump
+        QueueEmpty, ///< consume blocked; re-armed by a version bump
+    };
+
+    const DecodedThread *t = nullptr;
+    std::vector<int64_t> regs;
+    std::vector<uint64_t> reg_ready;
+    int32_t ip = 0;
+    bool done = false;
+    uint64_t done_at = 0; ///< cycle the core retired its Ret
+
+    Wait wait = Wait::None;
+    uint64_t wake = 0;        ///< Wait::Operand: first actionable cycle
+    QueueId wait_queue = kNoQueue;
+    uint64_t wait_version = 0;
+};
+
+/** Wedge threshold shared by both engines (cycles with no progress). */
+constexpr uint64_t kWedgeCycles = 100000;
+
+[[noreturn]] void
+wedged(uint64_t now)
+{
+    fatal("timing simulator wedged (deadlock in generated "
+          "code?) at cycle ",
+          now);
+}
+
+using SimClock = std::chrono::steady_clock;
+
+double
+msSince(SimClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(SimClock::now() -
+                                                     t0)
+        .count();
+}
+
 } // namespace
 
-CmpSimulator::CmpSimulator(const MachineConfig &config)
-    : config_(config)
+const char *
+simEngineName(SimEngine e)
+{
+    return e == SimEngine::Fast ? "fast" : "reference";
+}
+
+CmpSimulator::CmpSimulator(const MachineConfig &config, SimEngine engine)
+    : config_(config), engine_(engine)
 {
 }
 
@@ -47,6 +106,17 @@ SimResult
 CmpSimulator::run(const MtProgram &prog,
                   const std::vector<int64_t> &args, MemoryImage &mem)
 {
+    if (engine_ == SimEngine::Reference)
+        return runReference(prog, args, mem);
+    return run(decodeProgram(prog), args, mem);
+}
+
+SimResult
+CmpSimulator::runReference(const MtProgram &prog,
+                           const std::vector<int64_t> &args,
+                           MemoryImage &mem)
+{
+    auto t0 = SimClock::now();
     const int nc = static_cast<int>(prog.threads.size());
     GMT_ASSERT(nc >= 1);
     if (nc > config_.num_cores)
@@ -231,10 +301,8 @@ CmpSimulator::run(const MtProgram &prog,
 
         if (progressed)
             last_progress = now;
-        if (now - last_progress > 100000)
-            fatal("timing simulator wedged (deadlock in generated "
-                  "code?) at cycle ",
-                  now);
+        if (now - last_progress > kWedgeCycles)
+            wedged(now);
         ++now;
     }
 
@@ -249,19 +317,347 @@ CmpSimulator::run(const MtProgram &prog,
     }
     result.l3_hits = hierarchy.l3().hits();
     result.l3_misses = hierarchy.l3().misses();
+    result.engine.engine = SimEngine::Reference;
+    result.engine.iterations = now;
+    result.engine.skipped = 0;
+    result.engine.wall_ms = msSince(t0);
+    return result;
+}
+
+/*
+ * The event-driven fast path. Three mechanisms, each provably
+ * behaviour-preserving (the full argument lives in DESIGN.md):
+ *
+ *  1. Pre-decoded streams: the inner issue loop walks a flat
+ *     DecodedInstr array; control flow follows pre-resolved indices.
+ *     Jmp records are kept (not collapsed) so the reference loop's
+ *     free-op accounting — including its 64-per-cycle cap — is
+ *     reproduced exactly.
+ *
+ *  2. Wait records: a core that failed to issue remembers why. An
+ *     operand stall is actionable at a known cycle (reg_ready only
+ *     changes when the core itself issues); a queue stall is
+ *     actionable only after the queue's version stamp changes (only
+ *     produce/consume — i.e. another core's progress — can change
+ *     the occupancy). Until then the core charges the same stall
+ *     counter the reference sweep would recompute, without decoding
+ *     anything.
+ *
+ *  3. Cycle skipping: in a cycle where no core made progress and
+ *     every live core holds a wait record, the next cycles are
+ *     provably identical no-progress sweeps until the earliest
+ *     operand wake-up (queue waits cannot resolve on their own: no
+ *     progress means no produce/consume). `now` jumps there and the
+ *     per-core stall counters are bulk-incremented by the skipped
+ *     span, so every CoreStats field equals the reference's. The
+ *     jump is capped at the wedge boundary (last_progress +
+ *     kWedgeCycles + 1): a deadlocked program reaches the boundary,
+ *     sweeps one fruitless cycle, and dies on the same cycle number
+ *     with the same message as the reference loop.
+ */
+SimResult
+CmpSimulator::run(const DecodedProgram &prog,
+                  const std::vector<int64_t> &args, MemoryImage &mem)
+{
+    auto t0 = SimClock::now();
+    const int nc = static_cast<int>(prog.threads.size());
+    GMT_ASSERT(nc >= 1);
+    if (nc > config_.num_cores)
+        fatal("program has ", nc, " threads but the machine has ",
+              config_.num_cores, " cores");
+
+    MachineConfig cfg = config_;
+    cfg.queue_capacity = prog.queue_capacity;
+    cfg.sa_queues = std::max(cfg.sa_queues, prog.num_queues);
+
+    MemoryHierarchy hierarchy(cfg, nc);
+    SyncArrayTiming sa(cfg);
+
+    SimResult result;
+    result.core.assign(nc, {});
+
+    std::vector<FastCore> cores(nc);
+    for (int c = 0; c < nc; ++c) {
+        const DecodedThread &t = prog.threads[c];
+        cores[c].t = &t;
+        cores[c].regs.assign(t.num_regs, 0);
+        cores[c].reg_ready.assign(t.num_regs, 0);
+        GMT_ASSERT(args.size() == t.params.size());
+        for (size_t i = 0; i < args.size(); ++i)
+            cores[c].regs[t.params[i]] = args[i];
+        cores[c].ip = t.entry;
+    }
+
+    const int lat_table[3] = {cfg.alu_latency, cfg.mul_latency,
+                              cfg.div_latency};
+
+    uint64_t now = 0;
+    uint64_t last_progress = 0;
+    uint64_t iterations = 0;
+    uint64_t skipped = 0;
+    int live = nc;
+
+    while (live > 0) {
+        sa.beginCycle();
+        ++iterations;
+        bool progressed = false;
+
+        for (int c = 0; c < nc; ++c) {
+            FastCore &cs = cores[c];
+            CoreStats &st = result.core[c];
+            // idle_done has a closed form (cycles - 1 - done_at),
+            // filled in after the loop; done cores cost nothing here.
+            if (cs.done)
+                continue;
+
+            // Still provably blocked: charge the stall the reference
+            // sweep would recompute and move on.
+            if (cs.wait == FastCore::Wait::Operand && now < cs.wake) {
+                ++st.stall_operand;
+                continue;
+            }
+            if (cs.wait == FastCore::Wait::QueueFull &&
+                sa.version(cs.wait_queue) == cs.wait_version) {
+                ++st.stall_queue_full;
+                continue;
+            }
+            if (cs.wait == FastCore::Wait::QueueEmpty &&
+                sa.version(cs.wait_queue) == cs.wait_version) {
+                ++st.stall_queue_empty;
+                continue;
+            }
+            cs.wait = FastCore::Wait::None;
+
+            const DecodedInstr *code = cs.t->code.data();
+            int issued = 0;
+            int mem_issued = 0;
+            int free_ops = 0; // Jmp pseudo-ops retired this cycle
+            bool stalled = false;
+
+            while (!cs.done && !stalled &&
+                   issued < cfg.issue_width && free_ops < 64) {
+                const DecodedInstr &d = code[cs.ip];
+
+                // Scoreboard: stall-on-use.
+                uint64_t ready = 0;
+                if (d.nsrc >= 1 && d.src1 != kNoReg)
+                    ready = std::max(ready, cs.reg_ready[d.src1]);
+                if (d.nsrc >= 2 && d.src2 != kNoReg)
+                    ready = std::max(ready, cs.reg_ready[d.src2]);
+                if (d.op == Opcode::Ret) {
+                    for (Reg r : cs.t->live_outs)
+                        ready = std::max(ready, cs.reg_ready[r]);
+                }
+                if (ready > now) {
+                    if (issued == 0)
+                        ++st.stall_operand;
+                    cs.wait = FastCore::Wait::Operand;
+                    cs.wake = ready;
+                    break;
+                }
+
+                if (d.mem_port && mem_issued >= cfg.mem_ports) {
+                    if (issued == 0)
+                        ++st.stall_mem_port;
+                    break;
+                }
+
+                int32_t next_ip = cs.ip + 1;
+                switch (d.op) {
+                  case Opcode::Load: {
+                    int64_t addr = cs.regs[d.src1] + d.imm;
+                    int lat = hierarchy.loadLatency(c, addr);
+                    cs.regs[d.dst] = mem.read(addr);
+                    cs.reg_ready[d.dst] = now + lat;
+                    break;
+                  }
+                  case Opcode::Store: {
+                    int64_t addr = cs.regs[d.src1] + d.imm;
+                    hierarchy.storeLatency(c, addr);
+                    mem.write(addr, cs.regs[d.src2]);
+                    break;
+                  }
+                  case Opcode::Produce:
+                  case Opcode::ProduceSync: {
+                    if (!sa.canProduce(d.queue)) {
+                        ++st.stall_queue_full;
+                        cs.wait = FastCore::Wait::QueueFull;
+                        cs.wait_queue = d.queue;
+                        cs.wait_version = sa.version(d.queue);
+                        stalled = true;
+                        continue;
+                    }
+                    if (!sa.portAvailable()) {
+                        ++st.stall_sa_port;
+                        sa.notePortConflict();
+                        stalled = true;
+                        continue;
+                    }
+                    int64_t v = d.op == Opcode::Produce
+                                    ? cs.regs[d.src1]
+                                    : 1;
+                    sa.produce(d.queue, v);
+                    ++st.comm_instrs;
+                    break;
+                  }
+                  case Opcode::Consume:
+                  case Opcode::ConsumeSync: {
+                    if (!sa.canConsume(d.queue)) {
+                        ++st.stall_queue_empty;
+                        cs.wait = FastCore::Wait::QueueEmpty;
+                        cs.wait_queue = d.queue;
+                        cs.wait_version = sa.version(d.queue);
+                        stalled = true;
+                        continue;
+                    }
+                    if (!sa.portAvailable()) {
+                        ++st.stall_sa_port;
+                        sa.notePortConflict();
+                        stalled = true;
+                        continue;
+                    }
+                    int64_t v = sa.consume(d.queue);
+                    if (d.op == Opcode::Consume) {
+                        cs.regs[d.dst] = v;
+                        cs.reg_ready[d.dst] = now + sa.latency();
+                    }
+                    ++st.comm_instrs;
+                    break;
+                  }
+                  case Opcode::Br:
+                    next_ip =
+                        (cs.regs[d.src1] != 0) ? d.next : d.br_not;
+                    break;
+                  case Opcode::Jmp:
+                    // Free pseudo-op (fall-through after layout): no
+                    // issue slot, no instruction count.
+                    cs.ip = d.next;
+                    ++free_ops;
+                    progressed = true;
+                    continue;
+                  case Opcode::Ret:
+                    cs.done = true;
+                    cs.done_at = now;
+                    --live;
+                    for (Reg r : cs.t->live_outs)
+                        result.live_outs.push_back(cs.regs[r]);
+                    break;
+                  default: {
+                    int64_t a =
+                        d.src1 != kNoReg ? cs.regs[d.src1] : 0;
+                    int64_t b =
+                        d.src2 != kNoReg ? cs.regs[d.src2] : 0;
+                    cs.regs[d.dst] = evalAlu(d.op, a, b, d.imm);
+                    cs.reg_ready[d.dst] =
+                        now + lat_table[static_cast<int>(d.lat)];
+                    break;
+                  }
+                }
+
+                ++issued;
+                if (d.mem_port)
+                    ++mem_issued;
+                ++st.instrs;
+                progressed = true;
+                if (cs.done)
+                    break;
+                cs.ip = next_ip;
+            }
+        }
+
+        if (progressed)
+            last_progress = now;
+        if (now - last_progress > kWedgeCycles)
+            wedged(now);
+
+        if (!progressed && live > 0) {
+            // Cycle-skip engine: find the next actionable cycle.
+            uint64_t next_event = UINT64_MAX;
+            bool skippable = true;
+            for (int c = 0; c < nc && skippable; ++c) {
+                const FastCore &cs = cores[c];
+                if (cs.done)
+                    continue;
+                switch (cs.wait) {
+                  case FastCore::Wait::Operand:
+                    next_event = std::min(next_event, cs.wake);
+                    break;
+                  case FastCore::Wait::QueueFull:
+                  case FastCore::Wait::QueueEmpty:
+                    // Only another core's progress can re-arm it; no
+                    // event of its own.
+                    break;
+                  case FastCore::Wait::None:
+                    // No proof the next cycle looks the same (port
+                    // budgets reset); sweep it.
+                    skippable = false;
+                    break;
+                }
+            }
+            if (skippable) {
+                // Never skip past the wedge boundary: if next_event
+                // is beyond it (or does not exist — all cores queue
+                // blocked), the sweep at the boundary makes no
+                // progress and dies exactly like the reference.
+                uint64_t target = last_progress + kWedgeCycles + 1;
+                if (next_event < target)
+                    target = next_event;
+                if (target > now + 1) {
+                    uint64_t span = target - now - 1;
+                    for (int c = 0; c < nc; ++c) {
+                        FastCore &cs = cores[c];
+                        CoreStats &st = result.core[c];
+                        if (cs.done)
+                            continue; // closed form, see below
+                        else if (cs.wait == FastCore::Wait::Operand)
+                            st.stall_operand += span;
+                        else if (cs.wait == FastCore::Wait::QueueFull)
+                            st.stall_queue_full += span;
+                        else
+                            st.stall_queue_empty += span;
+                    }
+                    skipped += span;
+                    now = target;
+                    continue;
+                }
+            }
+        }
+        ++now;
+    }
+
+    result.cycles = now;
+    result.queues_drained = sa.allDrained();
+    result.sa_port_conflicts = sa.portConflicts();
+    for (int c = 0; c < nc; ++c) {
+        // The reference sweep charges a done core one idle_done per
+        // remaining cycle; that is exactly the cycles after its Ret
+        // up to (and including) the last swept cycle, cycles - 1.
+        result.core[c].idle_done = now - 1 - cores[c].done_at;
+        result.l1_hits += hierarchy.l1(c).hits();
+        result.l1_misses += hierarchy.l1(c).misses();
+        result.l2_hits += hierarchy.l2(c).hits();
+        result.l2_misses += hierarchy.l2(c).misses();
+    }
+    result.l3_hits = hierarchy.l3().hits();
+    result.l3_misses = hierarchy.l3().misses();
+    result.engine.engine = SimEngine::Fast;
+    result.engine.iterations = iterations;
+    result.engine.skipped = skipped;
+    result.engine.wall_ms = msSince(t0);
     return result;
 }
 
 SimResult
 simulateSingleThreaded(const Function &f,
                        const std::vector<int64_t> &args,
-                       MemoryImage &mem, const MachineConfig &config)
+                       MemoryImage &mem, const MachineConfig &config,
+                       SimEngine engine)
 {
     MtProgram prog;
     prog.threads.push_back(f); // copy
     prog.num_queues = 0;
     prog.queue_capacity = config.queue_capacity;
-    CmpSimulator sim(config);
+    CmpSimulator sim(config, engine);
     return sim.run(prog, args, mem);
 }
 

@@ -3,11 +3,27 @@
 
 /**
  * @file
- * Cycle-stepped CMP timing simulator: in-order multi-issue cores with
- * the Figure 6(a) memory hierarchy and synchronization array. It
- * executes an MtProgram functionally while charging cycles, so its
- * results double as a third execution oracle (interpreter, MT
- * interpreter, timing simulator must agree).
+ * CMP timing simulator: in-order multi-issue cores with the Figure
+ * 6(a) memory hierarchy and synchronization array. It executes an
+ * MtProgram functionally while charging cycles, so its results double
+ * as a third execution oracle (interpreter, MT interpreter, timing
+ * simulator must agree).
+ *
+ * Two engines produce bit-identical SimResults (asserted across the
+ * whole benchmark matrix by tests/test_sim_fast.cpp):
+ *
+ *  - SimEngine::Reference — the original lock-step loop: advance
+ *    `now` one cycle at a time, re-fetching every core's next
+ *    instruction through the Function/BasicBlock indirections.
+ *  - SimEngine::Fast — the event-driven fast path (the default):
+ *    pre-decoded flat instruction streams (decoded_program.hpp), a
+ *    cycle-skip engine that jumps `now` to the next actionable event
+ *    when every live core is provably stalled (bulk-incrementing the
+ *    per-core stall counters by the skipped span so the accounting
+ *    stays exact), and queue version stamps (sync_array_timing.hpp)
+ *    that re-arm queue-blocked cores on the matching produce/consume
+ *    instead of polling occupancy every cycle. DESIGN.md ("The
+ *    event-driven simulator") gives the skip-safety argument.
  *
  * Model summary (substitutions documented in DESIGN.md):
  *  - in-order issue of up to issue_width instructions/cycle, at most
@@ -32,11 +48,20 @@
 #include "runtime/memory_image.hpp"
 #include "runtime/mt_interpreter.hpp"
 #include "sim/cache.hpp"
+#include "sim/decoded_program.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/sync_array_timing.hpp"
 
 namespace gmt
 {
+
+/** Which simulation engine to run (results are bit-identical). */
+enum class SimEngine {
+    Fast,      ///< event-driven: pre-decoded streams + cycle skipping
+    Reference, ///< the original per-cycle lock-step loop
+};
+
+const char *simEngineName(SimEngine e);
 
 /** Per-core cycle accounting. */
 struct CoreStats
@@ -49,6 +74,30 @@ struct CoreStats
     uint64_t stall_sa_port = 0;
     uint64_t stall_mem_port = 0;
     uint64_t idle_done = 0; ///< cycles after this core retired
+
+    bool operator==(const CoreStats &) const = default;
+};
+
+/**
+ * How the engine got through the run — meta-instrumentation, not
+ * architectural state. Excluded from SimResult equality: the fast
+ * path sweeps fewer cycles than it simulates, and that is the point.
+ */
+struct SimEngineStats
+{
+    SimEngine engine = SimEngine::Fast;
+    uint64_t iterations = 0; ///< cycles actually swept by the loop
+    uint64_t skipped = 0;    ///< cycles jumped over by the skip engine
+    double wall_ms = 0.0;    ///< wall-clock time of the run
+
+    /** Fraction of simulated cycles never swept. */
+    double skipRatio() const
+    {
+        uint64_t total = iterations + skipped;
+        return total ? static_cast<double>(skipped) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
 };
 
 /** Result of a timing run. */
@@ -63,16 +112,38 @@ struct SimResult
     uint64_t l2_hits = 0, l2_misses = 0;
     uint64_t l3_hits = 0, l3_misses = 0;
     uint64_t sa_port_conflicts = 0;
+
+    /** Engine meta-stats; see SimEngineStats (not part of equality). */
+    SimEngineStats engine;
+
+    /**
+     * Architectural equality: every simulated quantity, nothing about
+     * how the engine computed it. This is the differential-testing
+     * contract between SimEngine::Fast and SimEngine::Reference.
+     */
+    bool operator==(const SimResult &o) const
+    {
+        return cycles == o.cycles && core == o.core &&
+               live_outs == o.live_outs &&
+               queues_drained == o.queues_drained &&
+               l1_hits == o.l1_hits && l1_misses == o.l1_misses &&
+               l2_hits == o.l2_hits && l2_misses == o.l2_misses &&
+               l3_hits == o.l3_hits && l3_misses == o.l3_misses &&
+               sa_port_conflicts == o.sa_port_conflicts;
+    }
 };
 
 /** The simulator. One instance per run. */
 class CmpSimulator
 {
   public:
-    explicit CmpSimulator(const MachineConfig &config);
+    explicit CmpSimulator(const MachineConfig &config,
+                          SimEngine engine = SimEngine::Fast);
 
     /**
-     * Simulate @p prog to completion.
+     * Simulate @p prog to completion with the configured engine
+     * (the fast engine decodes first; pass a DecodedProgram to
+     * amortize the decode across runs).
      * @param prog threads to run, one per core (threads <= cores).
      * @param args live-in values, broadcast to all threads.
      * @param mem  shared data memory (mutated).
@@ -80,8 +151,20 @@ class CmpSimulator
     SimResult run(const MtProgram &prog,
                   const std::vector<int64_t> &args, MemoryImage &mem);
 
+    /**
+     * Fast engine over a pre-decoded program (ignores the configured
+     * engine: decoded streams only exist on the fast path).
+     */
+    SimResult run(const DecodedProgram &prog,
+                  const std::vector<int64_t> &args, MemoryImage &mem);
+
   private:
+    SimResult runReference(const MtProgram &prog,
+                           const std::vector<int64_t> &args,
+                           MemoryImage &mem);
+
     MachineConfig config_;
+    SimEngine engine_;
 };
 
 /**
@@ -91,7 +174,8 @@ class CmpSimulator
 SimResult simulateSingleThreaded(const Function &f,
                                  const std::vector<int64_t> &args,
                                  MemoryImage &mem,
-                                 const MachineConfig &config);
+                                 const MachineConfig &config,
+                                 SimEngine engine = SimEngine::Fast);
 
 } // namespace gmt
 

@@ -1,69 +1,16 @@
 #include "sim/sync_array_timing.hpp"
 
-#include "support/error.hpp"
-
 namespace gmt
 {
 
 SyncArrayTiming::SyncArrayTiming(const MachineConfig &config)
-    : config_(config), queues_(config.sa_queues)
+    : config_(config), queues_(config.sa_queues),
+      slots_(static_cast<size_t>(config.sa_queues) *
+                 config.queue_capacity,
+             0),
+      versions_(config.sa_queues, 0)
 {
-}
-
-void
-SyncArrayTiming::beginCycle()
-{
-    ports_used_ = 0;
-}
-
-bool
-SyncArrayTiming::portAvailable() const
-{
-    return ports_used_ < config_.sa_ports;
-}
-
-bool
-SyncArrayTiming::canProduce(int q) const
-{
-    GMT_ASSERT(q >= 0 && q < static_cast<int>(queues_.size()),
-               "sync array has only ", queues_.size(), " queues");
-    return static_cast<int>(queues_[q].size()) <
-           config_.queue_capacity;
-}
-
-bool
-SyncArrayTiming::canConsume(int q) const
-{
-    GMT_ASSERT(q >= 0 && q < static_cast<int>(queues_.size()));
-    return !queues_[q].empty();
-}
-
-void
-SyncArrayTiming::produce(int q, int64_t value)
-{
-    GMT_ASSERT(canProduce(q) && portAvailable());
-    queues_[q].push_back(value);
-    ++ports_used_;
-}
-
-int64_t
-SyncArrayTiming::consume(int q)
-{
-    GMT_ASSERT(canConsume(q) && portAvailable());
-    int64_t v = queues_[q].front();
-    queues_[q].pop_front();
-    ++ports_used_;
-    return v;
-}
-
-bool
-SyncArrayTiming::allDrained() const
-{
-    for (const auto &q : queues_) {
-        if (!q.empty())
-            return false;
-    }
-    return true;
+    GMT_ASSERT(config.queue_capacity > 0);
 }
 
 } // namespace gmt

@@ -8,13 +8,24 @@
  * shared between the cores ("four request ports that are shared
  * between the two cores", paper §4). Occupancy gates produce (full)
  * and consume (empty); the port budget resets every cycle.
+ *
+ * Wakeup support for the event-driven simulator: every produce or
+ * consume bumps the queue's version stamp, so a core blocked on an
+ * empty/full queue records (queue, version) once and is re-armed by
+ * the matching produce/consume — a changed stamp — instead of
+ * re-polling the queue's occupancy every cycle. A nonempty-queue
+ * count makes allDrained() O(1) per call.
+ *
+ * Storage is one flat ring-buffer arena and every per-access method
+ * is inline: the simulators call them once per communication
+ * instruction and once per cycle (beginCycle).
  */
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/machine_config.hpp"
+#include "support/error.hpp"
 
 namespace gmt
 {
@@ -26,26 +37,77 @@ class SyncArrayTiming
     explicit SyncArrayTiming(const MachineConfig &config);
 
     /** Call at the top of every simulated cycle. */
-    void beginCycle();
+    void beginCycle() { ports_used_ = 0; }
 
     /** Is a request port available this cycle? */
-    bool portAvailable() const;
+    bool portAvailable() const
+    {
+        return ports_used_ < config_.sa_ports;
+    }
 
     /** Can queue @p q accept a produce this cycle? */
-    bool canProduce(int q) const;
+    bool canProduce(int q) const
+    {
+        GMT_ASSERT(q >= 0 && q < static_cast<int>(queues_.size()),
+                   "sync array has only ", queues_.size(), " queues");
+        return queues_[q].count < config_.queue_capacity;
+    }
 
     /** Does queue @p q hold a consumable value this cycle? */
-    bool canConsume(int q) const;
+    bool canConsume(int q) const
+    {
+        GMT_ASSERT(q >= 0 && q < static_cast<int>(queues_.size()));
+        return queues_[q].count > 0;
+    }
 
     /** Perform the produce (consumes a port). */
-    void produce(int q, int64_t value);
+    void produce(int q, int64_t value)
+    {
+        GMT_ASSERT(canProduce(q) && portAvailable());
+        Ring &r = queues_[q];
+        if (r.count == 0)
+            ++nonempty_;
+        slots_[static_cast<size_t>(q) * config_.queue_capacity +
+               r.tail] = value;
+        r.tail =
+            (r.tail + 1 == config_.queue_capacity) ? 0 : r.tail + 1;
+        ++r.count;
+        ++versions_[q];
+        ++ports_used_;
+    }
 
     /** Perform the consume (consumes a port). @return the value. */
-    int64_t consume(int q);
+    int64_t consume(int q)
+    {
+        GMT_ASSERT(canConsume(q) && portAvailable());
+        Ring &r = queues_[q];
+        int64_t v = slots_[static_cast<size_t>(q) *
+                               config_.queue_capacity +
+                           r.head];
+        r.head =
+            (r.head + 1 == config_.queue_capacity) ? 0 : r.head + 1;
+        --r.count;
+        if (r.count == 0)
+            --nonempty_;
+        ++versions_[q];
+        ++ports_used_;
+        return v;
+    }
 
     int latency() const { return config_.sa_latency; }
 
-    bool allDrained() const;
+    bool allDrained() const { return nonempty_ == 0; }
+
+    /**
+     * Version stamp of queue @p q, bumped by every produce and
+     * consume. A blocked core re-attempts only when the stamp it
+     * recorded at block time has changed (the wakeup signal).
+     */
+    uint64_t version(int q) const
+    {
+        GMT_ASSERT(q >= 0 && q < static_cast<int>(queues_.size()));
+        return versions_[q];
+    }
 
     uint64_t portConflicts() const { return port_conflicts_; }
 
@@ -53,8 +115,16 @@ class SyncArrayTiming
     void notePortConflict() { ++port_conflicts_; }
 
   private:
+    struct Ring
+    {
+        int head = 0, tail = 0, count = 0;
+    };
+
     MachineConfig config_;
-    std::vector<std::deque<int64_t>> queues_;
+    std::vector<Ring> queues_;
+    std::vector<int64_t> slots_; ///< sa_queues x capacity arena
+    std::vector<uint64_t> versions_;
+    int nonempty_ = 0;
     int ports_used_ = 0;
     uint64_t port_conflicts_ = 0;
 };

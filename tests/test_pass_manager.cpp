@@ -333,8 +333,8 @@ TEST(Stats, SinkWritesOneRecordPerPassAndCell)
     po.scheduler = Scheduler::Gremio;
     runner.runAll({{makeAdpcmDec(), po}});
 
-    // 12 pass records + 1 cell record.
-    EXPECT_EQ(sink.recordsWritten(), kStandardPasses.size() + 1);
+    // 12 pass records + 2 sim-engine records (st, mt) + 1 cell record.
+    EXPECT_EQ(sink.recordsWritten(), kStandardPasses.size() + 3);
     std::istringstream in(out.str());
     std::string line;
     size_t lines = 0;
@@ -349,6 +349,10 @@ TEST(Stats, SinkWritesOneRecordPerPassAndCell)
     EXPECT_NE(out.str().find("\"pass\":\"build-ir\""),
               std::string::npos);
     EXPECT_NE(out.str().find("\"type\":\"cell\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"type\":\"sim\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"which\":\"st\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"which\":\"mt\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"engine\":\"fast\""), std::string::npos);
 }
 
 TEST(ThreadPool, RunsEverySubmittedTask)

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "driver/pass_manager.hpp"
+#include "ir/builder.hpp"
+#include "sim/cmp_simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+MemoryImage
+refMemory(const Workload &w)
+{
+    MemoryImage mem;
+    mem.alloc(w.mem_cells);
+    if (w.fill)
+        w.fill(mem, /*ref=*/true);
+    return mem;
+}
+
+SimResult
+runEngine(const MtProgram &prog, const std::vector<int64_t> &args,
+          MemoryImage mem, const MachineConfig &m, SimEngine e)
+{
+    CmpSimulator sim(m, e);
+    return sim.run(prog, args, mem);
+}
+
+/**
+ * The differential-testing contract: across the full benchmark
+ * matrix (11 workloads x {DSWP, GREMIO} x {COCO off, on}), the fast
+ * engine's SimResult — cycles, per-core stall accounting, cache
+ * counters, everything architectural — equals the reference loop's,
+ * for both the MT program and the single-threaded baseline.
+ */
+TEST(SimFastDifferential, FullMatrixBitIdentical)
+{
+    for (const Workload &w : allWorkloads()) {
+        for (Scheduler sched : {Scheduler::Dswp, Scheduler::Gremio}) {
+            for (bool coco : {false, true}) {
+                PipelineOptions po;
+                po.scheduler = sched;
+                po.use_coco = coco;
+                PipelineContext ctx(w, po);
+                PassManager::codegenPipeline().run(ctx);
+
+                SCOPED_TRACE(ctx.cellId());
+                const MachineConfig &m = po.machine;
+
+                SimResult mt_fast =
+                    runEngine(ctx.prog->prog, w.ref_args, refMemory(w),
+                              m, SimEngine::Fast);
+                SimResult mt_ref =
+                    runEngine(ctx.prog->prog, w.ref_args, refMemory(w),
+                              m, SimEngine::Reference);
+                EXPECT_TRUE(mt_fast == mt_ref);
+                EXPECT_EQ(mt_fast.engine.iterations +
+                              mt_fast.engine.skipped,
+                          mt_fast.cycles);
+
+                MemoryImage st_mem_fast = refMemory(w);
+                MemoryImage st_mem_ref = refMemory(w);
+                SimResult st_fast = simulateSingleThreaded(
+                    ctx.ir->func, w.ref_args, st_mem_fast, m,
+                    SimEngine::Fast);
+                SimResult st_ref = simulateSingleThreaded(
+                    ctx.ir->func, w.ref_args, st_mem_ref, m,
+                    SimEngine::Reference);
+                EXPECT_TRUE(st_fast == st_ref);
+                EXPECT_EQ(st_mem_fast, st_mem_ref);
+            }
+        }
+    }
+}
+
+/**
+ * Cycle skipping must fire on long-latency dependence chains and the
+ * bulk-incremented stall counters must equal the reference's
+ * cycle-by-cycle accounting.
+ */
+TEST(SimFastSkip, BulkStallAccountingOnLatencyChain)
+{
+    // A serial chain of divisions: each stalls ~div_latency cycles.
+    FunctionBuilder b("divchain");
+    Reg x = b.param();
+    BlockId bb = b.newBlock("b");
+    b.setBlock(bb);
+    Reg two = b.constI(2);
+    Reg v = b.add(x, two);
+    for (int i = 0; i < 32; ++i) {
+        v = b.div(v, two);
+        v = b.add(v, x);
+    }
+    b.ret({v});
+    Function f = b.finish();
+
+    MachineConfig m = MachineConfig::paperDefault();
+    MemoryImage mem1, mem2;
+    SimResult fast =
+        simulateSingleThreaded(f, {1000000}, mem1, m, SimEngine::Fast);
+    SimResult ref = simulateSingleThreaded(f, {1000000}, mem2, m,
+                                           SimEngine::Reference);
+
+    EXPECT_TRUE(fast == ref);
+    // The whole point: the fast engine swept far fewer cycles.
+    EXPECT_GT(fast.engine.skipped, 0u);
+    EXPECT_LT(fast.engine.iterations, fast.cycles);
+    EXPECT_EQ(fast.engine.iterations + fast.engine.skipped,
+              fast.cycles);
+    // Stall cycles dominated by the div chain; bulk accounting must
+    // reproduce them exactly (already covered by ==, spelled out for
+    // the counter the skip engine touches).
+    EXPECT_EQ(fast.core[0].stall_operand, ref.core[0].stall_operand);
+    EXPECT_EQ(ref.engine.skipped, 0u);
+}
+
+/** Build the producer/consumer ping-pong used by the wakeup tests. */
+MtProgram
+pingPong(int n_values)
+{
+    MtProgram prog;
+    prog.num_queues = 1;
+    prog.queue_capacity = 1;
+    {
+        FunctionBuilder b("consumer");
+        Reg n = b.param();
+        BlockId head = b.newBlock("head");
+        BlockId body = b.newBlock("body");
+        BlockId done = b.newBlock("done");
+        b.setBlock(head);
+        Reg i = b.constI(0);
+        Reg sum = b.constI(0);
+        b.jmp(body);
+        b.setBlock(body);
+        Reg v = b.func().newReg();
+        b.func().append(body,
+                        {.op = Opcode::Consume, .dst = v, .queue = 0});
+        b.addInto(sum, sum, v);
+        Reg one = b.constI(1);
+        b.addInto(i, i, one);
+        Reg c = b.cmpLt(i, n);
+        b.br(c, body, done);
+        b.setBlock(done);
+        b.ret({sum});
+        prog.threads.push_back(b.finish());
+    }
+    {
+        FunctionBuilder b("producer");
+        Reg n = b.param();
+        BlockId head = b.newBlock("head");
+        BlockId body = b.newBlock("body");
+        BlockId done = b.newBlock("done");
+        b.setBlock(head);
+        Reg i = b.constI(0);
+        b.jmp(body);
+        b.setBlock(body);
+        b.func().append(body,
+                        {.op = Opcode::Produce, .src1 = i, .queue = 0});
+        Reg one = b.constI(1);
+        b.addInto(i, i, one);
+        Reg c = b.cmpLt(i, n);
+        b.br(c, body, done);
+        b.setBlock(done);
+        b.ret({});
+        prog.threads.push_back(b.finish());
+    }
+    (void)n_values;
+    return prog;
+}
+
+/**
+ * Queue wakeup: with capacity-1 queues the producer repeatedly blocks
+ * on a full queue and the consumer on an empty one. The version-stamp
+ * memo must re-arm each side exactly when the reference's re-poll
+ * would succeed, keeping every stall counter identical.
+ */
+TEST(SimFastWakeup, CapacityOnePingPongBitIdentical)
+{
+    MtProgram prog = pingPong(500);
+    MachineConfig m = MachineConfig::paperDefault();
+
+    MemoryImage mem1, mem2;
+    CmpSimulator fast_sim(m, SimEngine::Fast);
+    CmpSimulator ref_sim(m, SimEngine::Reference);
+    SimResult fast = fast_sim.run(prog, {500}, mem1);
+    SimResult ref = ref_sim.run(prog, {500}, mem2);
+
+    EXPECT_TRUE(fast == ref);
+    EXPECT_EQ(fast.live_outs.size(), 1u);
+    EXPECT_EQ(fast.live_outs[0], 499 * 500 / 2);
+    EXPECT_TRUE(fast.queues_drained);
+    // Both kinds of queue stall occurred and match exactly.
+    EXPECT_GT(fast.core[0].stall_queue_empty, 0u);
+    EXPECT_GT(fast.core[1].stall_queue_full, 0u);
+}
+
+/** Pre-decoding preserves the program shape the issue loop walks. */
+TEST(DecodedProgram, BranchTargetsAndLatencyClasses)
+{
+    FunctionBuilder b("shapes");
+    Reg x = b.param();
+    BlockId head = b.newBlock("head");
+    BlockId then_b = b.newBlock("then");
+    BlockId done = b.newBlock("done");
+    b.setBlock(head);
+    Reg two = b.constI(2);
+    Reg m = b.mul(x, two);
+    Reg d = b.div(m, two);
+    Reg c = b.cmpLt(d, two);
+    b.br(c, then_b, done);
+    b.setBlock(then_b);
+    b.jmp(done);
+    b.setBlock(done);
+    b.ret({d});
+    Function f = b.finish();
+
+    DecodedThread t = decodeThread(f);
+    ASSERT_EQ(t.code.size(),
+              static_cast<size_t>(f.numInstrs()));
+    int muls = 0, divs = 0, brs = 0, jmps = 0;
+    for (const DecodedInstr &di : t.code) {
+        if (di.lat == LatClass::Mul && di.op == Opcode::Mul)
+            ++muls;
+        if (di.lat == LatClass::Div)
+            ++divs;
+        if (di.op == Opcode::Br) {
+            ++brs;
+            // Both targets resolved to valid flat indices.
+            EXPECT_GE(di.next, 0);
+            EXPECT_GE(di.br_not, 0);
+            EXPECT_LT(di.next, static_cast<int32_t>(t.code.size()));
+            EXPECT_LT(di.br_not, static_cast<int32_t>(t.code.size()));
+        }
+        if (di.op == Opcode::Jmp) {
+            ++jmps;
+            EXPECT_GE(di.next, 0);
+        }
+    }
+    EXPECT_EQ(muls, 1);
+    EXPECT_EQ(divs, 1);
+    EXPECT_EQ(brs, 1);
+    EXPECT_EQ(jmps, 1);
+}
+
+/**
+ * The wedge detector must fire identically under skipping: a
+ * two-thread deadlock (both consume first) dies at the same cycle in
+ * both engines rather than being masked by (or tripping early in)
+ * the skip engine.
+ */
+TEST(SimFastWedge, DeadlockDetectedLikeReference)
+{
+    MtProgram prog;
+    prog.num_queues = 2;
+    prog.queue_capacity = 1;
+    for (int t = 0; t < 2; ++t) {
+        FunctionBuilder b(t == 0 ? "a" : "b");
+        BlockId bb = b.newBlock("b");
+        b.setBlock(bb);
+        Reg v = b.func().newReg();
+        // Each consumes the queue only the *other* would fill last —
+        // classic circular wait; nothing is ever produced.
+        b.func().append(bb, {.op = Opcode::Consume, .dst = v,
+                             .queue = static_cast<QueueId>(t)});
+        b.func().append(bb, {.op = Opcode::Produce, .src1 = v,
+                             .queue = static_cast<QueueId>(1 - t)});
+        b.ret({});
+        prog.threads.push_back(b.finish());
+    }
+    MachineConfig m = MachineConfig::paperDefault();
+    MemoryImage mem1, mem2;
+    CmpSimulator fast_sim(m, SimEngine::Fast);
+    CmpSimulator ref_sim(m, SimEngine::Reference);
+    EXPECT_THROW(fast_sim.run(prog, {}, mem1), FatalError);
+    EXPECT_THROW(ref_sim.run(prog, {}, mem2), FatalError);
+}
+
+} // namespace
+} // namespace gmt
