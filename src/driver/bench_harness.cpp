@@ -6,6 +6,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace gmt
@@ -21,7 +22,7 @@ usage(const char *argv0, int exit_code)
         stderr,
         "usage: %s [--jobs N] [--serial] [--no-cache] "
         "[--stats FILE] [--only W1,W2,...] [--quiet] "
-        "[--no-mtverify] [--sim fast|reference]\n",
+        "[--no-mtverify] [--sim fast|reference] [--trace FILE]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -86,6 +87,8 @@ parseBenchOptions(int argc, char **argv)
                 usage(argv[0], 2);
             }
         }
+        else if (arg == "--trace")
+            opts.trace_path = value();
         else if (arg == "--help" || arg == "-h")
             usage(argv[0], 0);
         else {
@@ -112,10 +115,13 @@ BenchHarness::BenchHarness(const BenchOptions &opts) : opts_(opts)
             std::exit(2);
         }
     }
+    if (!opts_.trace_path.empty())
+        trace_ = std::make_unique<TraceCollector>();
     ExperimentOptions eo;
     eo.jobs = opts_.jobs;
     eo.use_cache = opts_.use_cache;
     eo.stats = stats_.get();
+    eo.trace = trace_.get();
     runner_ = std::make_unique<ExperimentRunner>(eo);
 }
 
@@ -173,6 +179,15 @@ BenchHarness::runAll(const std::vector<ExperimentCell> &cells)
                           static_cast<double>(lookups)
                     : 0.0);
     }
+    if (trace_) {
+        trace_->writeFile(opts_.trace_path);
+        if (!opts_.quiet)
+            std::fprintf(stderr, "[bench] trace: %s (%zu events)\n",
+                         opts_.trace_path.c_str(),
+                         trace_->numEvents());
+    }
+    if (stats_)
+        writeMetricsRecords(MetricsRegistry::global(), *stats_);
     return results;
 }
 

@@ -16,6 +16,9 @@
  *   --no-mtverify   skip the static verify-mt pass on generated code
  *   --sim ENGINE    timing engine: fast (default) or reference (the
  *                   lock-step loop, for differential testing)
+ *   --trace FILE    write a Chrome trace-event JSON timeline (pass
+ *                   spans + per-core simulator lanes; load the file
+ *                   in Perfetto / chrome://tracing)
  */
 
 #include <memory>
@@ -38,6 +41,7 @@ struct BenchOptions
     bool quiet = false;
     bool verify_mt = true;
     SimEngine sim_engine = SimEngine::Fast;
+    std::string trace_path; ///< empty = no trace
 };
 
 /**
@@ -60,16 +64,25 @@ class BenchHarness
     /** allWorkloads() filtered by --only (order preserved). */
     std::vector<Workload> workloads() const;
 
-    /** Run the batch; prints the summary line unless --quiet. */
+    /**
+     * Run the batch; prints the summary line unless --quiet. After
+     * the batch: rewrites the --trace file (the collector is
+     * cumulative, so the final batch's write covers the whole run)
+     * and republishes the global metrics registry into --stats as
+     * type:"metrics" records (cumulative; readers keep the last
+     * record per name).
+     */
     std::vector<PipelineResult> runAll(
         const std::vector<ExperimentCell> &cells);
 
     ExperimentRunner &runner() { return *runner_; }
     StatsSink *stats() { return stats_.get(); }
+    TraceCollector *trace() { return trace_.get(); }
 
   private:
     BenchOptions opts_;
     std::unique_ptr<StatsSink> stats_;
+    std::unique_ptr<TraceCollector> trace_;
     std::unique_ptr<ExperimentRunner> runner_;
 };
 

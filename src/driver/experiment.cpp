@@ -33,14 +33,17 @@ ExperimentRunner::runAll(const std::vector<ExperimentCell> &cells)
 
     std::vector<PipelineResult> results(cells.size());
     std::vector<std::exception_ptr> errors(cells.size());
+    obs_profiles_.assign(cells.size(), nullptr);
 
     auto run_cell = [&](size_t i) {
         try {
             PipelineContext ctx(cells[i].workload, cells[i].opts);
             ctx.cache = cache;
             ctx.stats = opts_.stats;
+            ctx.trace = opts_.trace;
             pipeline.run(ctx);
             results[i] = std::move(ctx.result);
+            obs_profiles_[i] = ctx.obs;
         } catch (...) {
             errors[i] = std::current_exception();
         }

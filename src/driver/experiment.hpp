@@ -46,6 +46,13 @@ struct ExperimentOptions
 
     /** Optional per-pass/per-cell JSONL sink (not owned). */
     StatsSink *stats = nullptr;
+
+    /**
+     * Optional Chrome-trace collector (not owned). Attached to every
+     * cell's context: passes emit spans, and the obs-profile pass is
+     * forced on so profiled cells contribute simulator lanes.
+     */
+    TraceCollector *trace = nullptr;
 };
 
 /** Aggregate numbers of one runAll() batch. */
@@ -75,6 +82,19 @@ class ExperimentRunner
     /** Summary of the most recent runAll(). */
     const ExperimentSummary &summary() const { return summary_; }
 
+    /**
+     * Observability artifacts of the most recent runAll(), parallel
+     * to its result vector. Null for cells whose obs-profile pass was
+     * skipped (no profile_stalls, no trace). PipelineResult stays a
+     * plain value (the determinism oracle compares it with ==), so
+     * the artifacts travel beside it, not inside it.
+     */
+    const std::vector<std::shared_ptr<const ObsProfileArtifact>> &
+    obsProfiles() const
+    {
+        return obs_profiles_;
+    }
+
     ArtifactCache &cache() { return cache_; }
 
     /** Resolved worker count for this configuration. */
@@ -84,6 +104,7 @@ class ExperimentRunner
     ExperimentOptions opts_;
     ArtifactCache cache_;
     ExperimentSummary summary_;
+    std::vector<std::shared_ptr<const ObsProfileArtifact>> obs_profiles_;
 };
 
 } // namespace gmt

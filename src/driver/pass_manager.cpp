@@ -1,5 +1,6 @@
 #include "driver/pass_manager.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "analysis/loop_info.hpp"
@@ -10,6 +11,7 @@
 #include "mtcg/mtcg.hpp"
 #include "mtcg/queue_alloc.hpp"
 #include "mtverify/mtverify.hpp"
+#include "obs/metrics.hpp"
 #include "partition/dswp.hpp"
 #include "partition/gremio.hpp"
 #include "pdg/pdg_builder.hpp"
@@ -119,6 +121,19 @@ queueAllocKey(const PipelineContext &ctx)
 }
 
 std::string
+obsProfileKey(const PipelineContext &ctx)
+{
+    // The attribution itself is engine-independent, but the keys stay
+    // apart per engine so differential tests exercise both engines'
+    // instrumentation instead of sharing one cached artifact.
+    if (!ctx.opts.simulate)
+        return "obs|" + queueAllocKey(ctx) + "|nosim";
+    return "obs|" + queueAllocKey(ctx) + '|' +
+           machineKey(ctx.opts.machine) +
+           (ctx.opts.sim_engine == SimEngine::Reference ? "|ref" : "");
+}
+
+std::string
 coreMachineKey(const MachineConfig &m)
 {
     auto cache = [](const CacheConfig &c) {
@@ -191,7 +206,8 @@ emitPassRecord(PipelineContext &ctx, const PassStats &ps)
     if (!ctx.stats)
         return;
     JsonObject rec;
-    rec.str("type", "pass")
+    rec.num("schema", int64_t{1})
+        .str("type", "pass")
         .str("cell", ctx.cellId())
         .str("workload", ctx.workload->name)
         .str("scheduler", schedulerName(ctx.opts.scheduler))
@@ -199,7 +215,11 @@ emitPassRecord(PipelineContext &ctx, const PassStats &ps)
         .str("pass", ps.pass)
         .num("wall_ms", ps.wall_ms)
         .boolean("cached", ps.cached);
-    for (const auto &[name, value] : ps.counters)
+    // Counters sorted by name: record key order is part of the
+    // schema, independent of the order the pass added them in.
+    auto counters = ps.counters;
+    std::sort(counters.begin(), counters.end());
+    for (const auto &[name, value] : counters)
         rec.num(name, static_cast<int64_t>(value));
     ctx.stats->write(rec);
 }
@@ -211,6 +231,7 @@ emitCellRecord(PipelineContext &ctx, double total_ms)
         return;
     const PipelineResult &r = ctx.result;
     JsonObject rec;
+    rec.num("schema", int64_t{1});
     rec.str("type", "cell")
         .str("cell", ctx.cellId())
         .str("workload", r.workload)
@@ -246,16 +267,30 @@ PassManager::run(PipelineContext &ctx) const
     for (const Pass &pass : passes_) {
         PassStats ps;
         ps.pass = pass.name;
+        double trace_ts = ctx.trace ? ctx.trace->nowUs() : 0.0;
         auto t0 = Clock::now();
         pass.run(ctx, ps);
         auto t1 = Clock::now();
         ps.wall_ms =
             std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (ctx.trace)
+            ctx.trace->completeEvent(
+                pass.name, "pass", TraceCollector::kPipelinePid,
+                ctx.trace->laneForThisThread(), trace_ts,
+                ctx.trace->nowUs() - trace_ts,
+                {{"cell", ctx.cellId()}},
+                {{"cached", ps.cached ? 1 : 0}});
         if (ctx.opts.check_invariants)
             checkInvariants(ctx, pass.name);
+        MetricsRegistry &mr = MetricsRegistry::global();
+        mr.counter("pipeline.passes_run").add();
+        if (ps.cached)
+            mr.counter("pipeline.passes_cached").add();
+        mr.histogram("pipeline.pass_wall_ms").observe(ps.wall_ms);
         emitPassRecord(ctx, ps);
         ctx.pass_stats.push_back(std::move(ps));
     }
+    MetricsRegistry::global().counter("pipeline.cells").add();
 
     // Assemble the result from the final artifacts.
     if (ctx.partition)
@@ -587,7 +622,8 @@ emitSimRecord(PipelineContext &ctx, const char *which,
     if (!ctx.stats)
         return;
     JsonObject rec;
-    rec.str("type", "sim")
+    rec.num("schema", int64_t{1})
+        .str("type", "sim")
         .str("cell", ctx.cellId())
         .str("which", which)
         .str("engine", simEngineName(r.engine.engine))
@@ -705,6 +741,141 @@ passSim(PipelineContext &ctx, PassStats &ps)
            static_cast<int64_t>(ctx.mt_sim->engine.skipped));
 }
 
+/**
+ * Render one profiled cell's simulator lanes into the trace: one
+ * process per cell, one lane per core carrying its compute/stall
+ * intervals, one counter track per queue. Timestamps are simulated
+ * cycles rendered as microseconds — a different timebase than the
+ * pipeline pid's wall clock, which is why the cell gets its own pid.
+ * Dense queue tracks are stride-sampled down to ~4k points to keep
+ * trace files loadable; the last sample is always kept so the final
+ * occupancy is right.
+ */
+void
+emitSimTrace(PipelineContext &ctx, const ObsProfileArtifact &obs)
+{
+    if (!ctx.trace || !obs.simulated)
+        return;
+    TraceCollector &tc = *ctx.trace;
+    const SimTimeline &tl = obs.timeline;
+    int pid = tc.registerProcess("sim " + ctx.cellId());
+    for (size_t c = 0; c < tl.core.size(); ++c) {
+        tc.nameThread(pid, static_cast<int64_t>(c),
+                      "core " + std::to_string(c));
+        for (const CoreInterval &iv : tl.core[c])
+            tc.completeEvent(coreStateName(iv.state), "sim", pid,
+                             static_cast<int64_t>(c),
+                             static_cast<double>(iv.begin),
+                             static_cast<double>(iv.end - iv.begin));
+    }
+    constexpr size_t kMaxQueueSamples = 4096;
+    for (size_t q = 0; q < tl.queue.size(); ++q) {
+        const std::vector<QueueSample> &samples = tl.queue[q];
+        if (samples.empty())
+            continue;
+        const size_t stride =
+            samples.size() > kMaxQueueSamples
+                ? (samples.size() + kMaxQueueSamples - 1) /
+                      kMaxQueueSamples
+                : 1;
+        const std::string name = "queue " + std::to_string(q);
+        for (size_t i = 0; i < samples.size(); i += stride)
+            tc.counterEvent(name, pid,
+                            static_cast<double>(samples[i].cycle),
+                            "occupancy", samples[i].occupancy);
+        if (stride > 1 && (samples.size() - 1) % stride != 0)
+            tc.counterEvent(
+                name, pid,
+                static_cast<double>(samples.back().cycle),
+                "occupancy", samples.back().occupancy);
+    }
+}
+
+void
+passObsProfile(PipelineContext &ctx, PassStats &ps)
+{
+    // An attached trace collector needs the timeline even when the
+    // caller did not ask for stall profiling explicitly.
+    if (!ctx.opts.profile_stalls && !ctx.trace) {
+        ps.add("skipped", 1);
+        return;
+    }
+    const Workload &w = *ctx.workload;
+    auto mt_run = ctx.mt_run;
+
+    if (!ctx.opts.simulate) {
+        // Counts-only mode: no simulation to attribute, but the
+        // dynamic instruction counts give fig1 its breakdown.
+        ctx.obs = ctx.cached<ObsProfileArtifact>(
+            obsProfileKey(ctx),
+            [mt_run]() -> std::shared_ptr<const ObsProfileArtifact> {
+                auto art = std::make_shared<ObsProfileArtifact>();
+                art->computation = mt_run->computation;
+                art->duplicated_branches = mt_run->duplicated_branches;
+                art->reg_comm = mt_run->reg_comm;
+                art->mem_sync = mt_run->mem_sync;
+                return art;
+            },
+            ps);
+        ps.add("simulated", 0);
+        return;
+    }
+
+    const MachineConfig cfg = ctx.opts.machine;
+    const SimEngine engine = ctx.opts.sim_engine;
+    auto prog = ctx.prog;
+    auto plan = ctx.plan;
+    auto mt_dec = ctx.mt_decoded;
+    auto mt_sim = ctx.mt_sim;
+    ctx.obs = ctx.cached<ObsProfileArtifact>(
+        obsProfileKey(ctx),
+        [&w, cfg, engine, prog, plan, mt_run, mt_dec,
+         mt_sim]() -> std::shared_ptr<const ObsProfileArtifact> {
+            MemoryImage mem = workloadMemory(w, /*ref=*/true);
+            CmpSimulator sim(cfg, engine);
+            SimProfile profile;
+            TimelineBuilder timeline;
+            sim.setProfile(&profile);
+            sim.setTimeline(&timeline);
+            SimResult r = mt_dec
+                              ? sim.run(mt_dec->prog, w.ref_args, mem)
+                              : sim.run(prog->prog, w.ref_args, mem);
+            GMT_ASSERT(!mt_sim || r.cycles == mt_sim->cycles,
+                       "instrumented rerun diverged from the sim "
+                       "pass for ",
+                       w.name);
+            std::string violation =
+                checkStallConservation(profile, stallTotals(r));
+            if (!violation.empty())
+                panic("stall attribution broke conservation for ",
+                      w.name, " (", simEngineName(engine),
+                      " engine): ", violation);
+            auto art = std::make_shared<ObsProfileArtifact>();
+            art->simulated = true;
+            art->report =
+                buildStallReport(profile, r.cycles, plan->plan,
+                                 prog->queue_of, prog->prog);
+            art->profile = std::move(profile);
+            art->timeline = timeline.take();
+            art->computation = mt_run->computation;
+            art->duplicated_branches = mt_run->duplicated_branches;
+            art->reg_comm = mt_run->reg_comm;
+            art->mem_sync = mt_run->mem_sync;
+            return art;
+        },
+        ps);
+    ps.add("simulated", 1);
+    ps.add("stall_cycles",
+           static_cast<int64_t>(ctx.obs->report.totalStallCycles()));
+    ps.add("queues",
+           static_cast<int64_t>(ctx.obs->report.queues.size()));
+    ps.add("hot_blocks",
+           static_cast<int64_t>(ctx.obs->report.blocks.size()));
+    // Lanes are emitted per cell even when the artifact was cached:
+    // the trace belongs to this run, the artifact to the cache.
+    emitSimTrace(ctx, *ctx.obs);
+}
+
 } // namespace
 
 PassManager
@@ -730,6 +901,7 @@ PassManager::standardPipeline()
     pm.addPass("verify-mt", passVerifyMt);
     pm.addPass("mt-run", passMtRun);
     pm.addPass("sim", passSim);
+    pm.addPass("obs-profile", passObsProfile);
     return pm;
 }
 

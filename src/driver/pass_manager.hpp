@@ -14,7 +14,7 @@
  *
  *   build-ir -> edge-split -> verify -> profile -> pdg -> partition
  *     -> placement -> mtcg -> queue-alloc -> verify-mt -> mt-run
- *     -> sim
+ *     -> sim -> obs-profile
  *
  * Passes communicate exclusively through the context's immutable
  * shared artifacts, which is what makes both the caching and the
@@ -36,6 +36,9 @@
 #include "driver/pipeline.hpp"
 #include "driver/stats.hpp"
 #include "mtcg/comm_plan.hpp"
+#include "obs/stall_report.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace_writer.hpp"
 #include "runtime/mt_interpreter.hpp"
 
 namespace gmt
@@ -155,6 +158,34 @@ struct MtSimArtifact
 };
 
 /**
+ * Observability rollup of one cell (the obs-profile pass): the raw
+ * stall attribution and execution timeline of an instrumented MT
+ * timing run, plus the ranked per-queue / per-block report
+ * (obs/stall_report.hpp). The attribution is engine-independent and
+ * conserved — it sums exactly to the aggregate CoreStats counters,
+ * checked at build time. In counts-only mode (simulate off) only the
+ * dynamic instruction counts below are filled, which is all
+ * bench/fig1 needs.
+ */
+struct ObsProfileArtifact
+{
+    bool simulated = false;
+
+    SimProfile profile;   ///< raw (core, block[, queue]) charges
+    SimTimeline timeline; ///< per-core intervals + queue occupancy
+    StallReport report;   ///< ranked rollup (empty when !simulated)
+
+    // Dynamic instruction counts, copied from the MtRunArtifact
+    // (always filled; the fig1 breakdown sources them from here).
+    uint64_t computation = 0;
+    uint64_t duplicated_branches = 0;
+    uint64_t reg_comm = 0;
+    uint64_t mem_sync = 0;
+
+    uint64_t communication() const { return reg_comm + mem_sync; }
+};
+
+/**
  * Everything one cell's pass pipeline reads and produces. The
  * context is single-threaded; sharing happens only through the
  * (thread-safe) cache and the immutable artifacts it returns.
@@ -175,6 +206,14 @@ struct PipelineContext
     /** Optional structured stats sink (may be null). */
     StatsSink *stats = nullptr;
 
+    /**
+     * Optional Chrome-trace collector (may be null). When attached,
+     * PassManager::run() emits one span per executed pass and the
+     * obs-profile pass — forced on by the collector — adds the cell's
+     * simulator lanes.
+     */
+    TraceCollector *trace = nullptr;
+
     // Stage artifacts, filled in pipeline order.
     std::shared_ptr<const IrArtifact> ir;
     std::shared_ptr<const ProfileArtifact> profile;
@@ -188,6 +227,7 @@ struct PipelineContext
     std::shared_ptr<const MtDecodedArtifact> mt_decoded;
     std::shared_ptr<const StSimArtifact> st_sim;
     std::shared_ptr<const MtSimArtifact> mt_sim;
+    std::shared_ptr<const ObsProfileArtifact> obs;
 
     /** Assembled by PassManager::run() after the last pass. */
     PipelineResult result;
@@ -250,7 +290,7 @@ class PassManager
     /** Run every pass in order and finalize ctx.result. */
     void run(PipelineContext &ctx) const;
 
-    /** The paper's full pipeline (the 12 standard passes). */
+    /** The paper's full pipeline (the 13 standard passes). */
     static PassManager standardPipeline();
 
     /**
@@ -276,6 +316,7 @@ std::string partitionKey(const PipelineContext &ctx);
 std::string planKey(const PipelineContext &ctx);
 std::string mtcgKey(const PipelineContext &ctx);
 std::string queueAllocKey(const PipelineContext &ctx);
+std::string obsProfileKey(const PipelineContext &ctx);
 std::string machineKey(const MachineConfig &m);
 
 /**

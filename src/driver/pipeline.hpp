@@ -85,6 +85,17 @@ struct PipelineOptions
      * bench harness exposes --no-mtverify to skip it.
      */
     bool verify_mt = true;
+
+    /**
+     * Run the obs-profile pass: re-simulate the MT program with stall
+     * attribution and timeline collection attached and publish the
+     * rollup as an ObsProfileArtifact (dies if the attribution does
+     * not sum exactly to the aggregate stall counters). With simulate
+     * off, the artifact carries only the dynamic instruction counts
+     * (bench/fig1's counts-only mode). Also forced on by an attached
+     * trace collector.
+     */
+    bool profile_stalls = false;
 };
 
 /** Everything the figures need from one cell. */

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace gmt
@@ -122,6 +123,38 @@ StatsSink::recordsWritten() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return records_;
+}
+
+void
+writeMetricsRecords(const MetricsRegistry &registry, StatsSink &sink)
+{
+    for (const MetricSample &s : registry.snapshot()) {
+        JsonObject rec;
+        rec.num("schema", int64_t{1})
+            .str("type", "metrics")
+            .str("name", s.name)
+            .str("kind", metricKindName(s.kind));
+        if (s.kind == MetricSample::Kind::Histogram) {
+            const Histogram::Snapshot &h = s.hist;
+            rec.num("count", h.count)
+                .num("sum", h.sum)
+                .num("min", h.count ? h.min : 0.0)
+                .num("max", h.count ? h.max : 0.0);
+            std::string buckets;
+            for (int b = 0; b < Histogram::kBuckets; ++b) {
+                if (!h.buckets[b])
+                    continue;
+                if (!buckets.empty())
+                    buckets += ',';
+                buckets += std::to_string(b) + ':' +
+                           std::to_string(h.buckets[b]);
+            }
+            rec.str("buckets", buckets);
+        } else {
+            rec.num("value", s.value);
+        }
+        sink.write(rec);
+    }
 }
 
 } // namespace gmt

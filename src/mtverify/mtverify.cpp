@@ -6,6 +6,7 @@
 
 #include "ir/verifier.hpp"
 #include "mtverify/deadlock.hpp"
+#include "obs/metrics.hpp"
 #include "mtverify/queue_balance.hpp"
 #include "support/error.hpp"
 
@@ -582,6 +583,9 @@ verifyMtProgram(const MtVerifyInput &in)
     checkDeadlockFreedom(*in.orig, *in.prog, maps, res.diags);
 
     dedupeDiags(res.diags);
+    MetricsRegistry &mr = MetricsRegistry::global();
+    mr.counter("mtverify.runs").add();
+    mr.counter("mtverify.diags").add(res.diags.size());
     return res;
 }
 

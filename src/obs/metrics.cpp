@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmt
+{
+
+void
+Histogram::observe(double v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (s_.count == 0) {
+        s_.min = v;
+        s_.max = v;
+    } else {
+        s_.min = std::min(s_.min, v);
+        s_.max = std::max(s_.max, v);
+    }
+    ++s_.count;
+    s_.sum += v;
+    int b = 0;
+    if (v >= 1.0) {
+        b = 1 + static_cast<int>(std::floor(std::log2(v)));
+        b = std::clamp(b, 0, kBuckets - 1);
+    }
+    ++s_.buckets[b];
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return s_;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    s_ = Snapshot{};
+}
+
+const char *
+metricKindName(MetricSample::Kind k)
+{
+    switch (k) {
+      case MetricSample::Kind::Counter:
+        return "counter";
+      case MetricSample::Kind::Gauge:
+        return "gauge";
+      default:
+        return "histogram";
+    }
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<MetricSample> out;
+    out.reserve(counters_.size() + gauges_.size() +
+                histograms_.size());
+    for (const auto &[name, c] : counters_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Counter;
+        s.value = static_cast<int64_t>(c->value());
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, g] : gauges_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Gauge;
+        s.value = g->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, h] : histograms_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Histogram;
+        s.hist = h->snapshot();
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+} // namespace gmt

@@ -1,0 +1,131 @@
+#ifndef GMT_OBS_METRICS_HPP
+#define GMT_OBS_METRICS_HPP
+
+/**
+ * @file
+ * Unified metrics registry: named counters, gauges, and histograms
+ * that every subsystem (pass manager, interpreters, MT verifier,
+ * timing simulator) publishes into. One process-wide registry
+ * (MetricsRegistry::global()) backs the `type:"metrics"` records in
+ * the JSONL stats stream; tests construct private registries.
+ *
+ * Concurrency: instrument handles returned by counter()/gauge()/
+ * histogram() are stable for the registry's lifetime, so the common
+ * pattern is one locked name lookup followed by lock-free updates
+ * (counters and gauges are single atomics; histograms take a small
+ * per-instrument lock). Snapshots are consistent per instrument, not
+ * across instruments — good enough for observability, which is all
+ * this is for.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gmt
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/**
+ * Distribution summary: count/sum/min/max plus power-of-two buckets
+ * (bucket i counts observations in [2^(i-1), 2^i); bucket 0 is
+ * everything below 1). Fixed 32-bucket layout keeps snapshots flat.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 32;
+
+    struct Snapshot
+    {
+        uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0; ///< meaningless when count == 0
+        double max = 0.0;
+        uint64_t buckets[kBuckets] = {};
+    };
+
+    void observe(double v);
+    Snapshot snapshot() const;
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    Snapshot s_;
+};
+
+/** One instrument's state, flattened for serialization. */
+struct MetricSample
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+
+    /** Counter/gauge value. */
+    int64_t value = 0;
+
+    /** Histogram summary (zero for counters/gauges). */
+    Histogram::Snapshot hist;
+};
+
+const char *metricKindName(MetricSample::Kind k);
+
+/**
+ * Named instrument registry. Lookups are mutex-protected; the
+ * returned references stay valid until the registry is destroyed
+ * (instruments are never removed, reset() only zeroes them).
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** All instruments, sorted by name (deterministic output order). */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Zero every instrument (tests; instruments stay registered). */
+    void reset();
+
+    /** The process-wide registry everything publishes into. */
+    static MetricsRegistry &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace gmt
+
+#endif // GMT_OBS_METRICS_HPP

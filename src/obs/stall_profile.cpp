@@ -1,0 +1,86 @@
+#include "obs/stall_profile.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+std::string
+mismatch(const char *what, int core, uint64_t attributed,
+         uint64_t aggregate)
+{
+    return std::string(what) + " mismatch on core " +
+           std::to_string(core) + ": attributed " +
+           std::to_string(attributed) + " != aggregate " +
+           std::to_string(aggregate);
+}
+
+} // namespace
+
+std::string
+checkStallConservation(const SimProfile &profile,
+                       const std::vector<CoreStallTotals> &aggregates)
+{
+    if (profile.blocks.size() != aggregates.size())
+        return "core count mismatch: profile has " +
+               std::to_string(profile.blocks.size()) +
+               ", aggregates have " +
+               std::to_string(aggregates.size());
+
+    uint64_t core_qfull = 0, core_qempty = 0, core_saport = 0;
+    for (size_t c = 0; c < aggregates.size(); ++c) {
+        BlockStallProf sum;
+        for (const BlockStallProf &b : profile.blocks[c]) {
+            sum.operand += b.operand;
+            sum.mem_port += b.mem_port;
+            sum.queue_full += b.queue_full;
+            sum.queue_empty += b.queue_empty;
+            sum.sa_port += b.sa_port;
+        }
+        const CoreStallTotals &agg = aggregates[c];
+        const int ci = static_cast<int>(c);
+        if (sum.operand != agg.operand)
+            return mismatch("stall_operand", ci, sum.operand,
+                            agg.operand);
+        if (sum.mem_port != agg.mem_port)
+            return mismatch("stall_mem_port", ci, sum.mem_port,
+                            agg.mem_port);
+        if (sum.queue_full != agg.queue_full)
+            return mismatch("stall_queue_full", ci, sum.queue_full,
+                            agg.queue_full);
+        if (sum.queue_empty != agg.queue_empty)
+            return mismatch("stall_queue_empty", ci, sum.queue_empty,
+                            agg.queue_empty);
+        if (sum.sa_port != agg.sa_port)
+            return mismatch("stall_sa_port", ci, sum.sa_port,
+                            agg.sa_port);
+        core_qfull += agg.queue_full;
+        core_qempty += agg.queue_empty;
+        core_saport += agg.sa_port;
+    }
+
+    uint64_t q_full = 0, q_empty = 0, q_saport = 0;
+    for (const QueueStallProf &q : profile.queues) {
+        q_full += q.full_cycles;
+        q_empty += q.empty_cycles;
+        q_saport += q.sa_port_cycles;
+    }
+    if (q_full != core_qfull)
+        return "per-queue full_cycles sum " + std::to_string(q_full) +
+               " != cores' stall_queue_full sum " +
+               std::to_string(core_qfull);
+    if (q_empty != core_qempty)
+        return "per-queue empty_cycles sum " +
+               std::to_string(q_empty) +
+               " != cores' stall_queue_empty sum " +
+               std::to_string(core_qempty);
+    if (q_saport != core_saport)
+        return "per-queue sa_port_cycles sum " +
+               std::to_string(q_saport) +
+               " != cores' stall_sa_port sum " +
+               std::to_string(core_saport);
+    return "";
+}
+
+} // namespace gmt

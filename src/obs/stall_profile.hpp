@@ -1,0 +1,147 @@
+#ifndef GMT_OBS_STALL_PROFILE_HPP
+#define GMT_OBS_STALL_PROFILE_HPP
+
+/**
+ * @file
+ * Stall-cycle attribution collected by the CMP timing simulator.
+ *
+ * The simulator's aggregate CoreStats say *how many* cycles each core
+ * lost to each stall cause; a SimProfile says *where* they went: every
+ * stall cycle is charged to the (core, basic block) holding the
+ * blocked instruction, and queue stalls additionally to the queue the
+ * instruction was blocked on. Both engines charge at the same
+ * architectural events, so fast- and reference-engine profiles are
+ * bit-identical (asserted by tests/test_obs.cpp), and the charges are
+ * exhaustive: summed per core they reproduce the aggregate CoreStats
+ * counters exactly — checkStallConservation() is the invariant the
+ * obs-profile pass dies on if it ever breaks.
+ *
+ * This is the data the paper's Figure 1 / communication-breakdown
+ * analysis needs: per-queue stall cycles map through the queue
+ * allocator's placement assignment back to comm-plan entries and PDG
+ * arcs (obs/stall_report.hpp does that rollup).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmt
+{
+
+/** Per-queue stall cycles and traffic. */
+struct QueueStallProf
+{
+    uint64_t full_cycles = 0;    ///< producer-side stalls (queue full)
+    uint64_t empty_cycles = 0;   ///< consumer-side stalls (queue empty)
+    uint64_t sa_port_cycles = 0; ///< stalls for a sync-array port
+    uint64_t produces = 0;       ///< values enqueued
+    uint64_t consumes = 0;       ///< values dequeued
+
+    uint64_t stallCycles() const
+    {
+        return full_cycles + empty_cycles + sa_port_cycles;
+    }
+
+    bool operator==(const QueueStallProf &) const = default;
+};
+
+/** Per-(core, basic block) stall cycles, one bucket per cause. */
+struct BlockStallProf
+{
+    uint64_t operand = 0;
+    uint64_t mem_port = 0;
+    uint64_t queue_full = 0;
+    uint64_t queue_empty = 0;
+    uint64_t sa_port = 0;
+
+    uint64_t total() const
+    {
+        return operand + mem_port + queue_full + queue_empty + sa_port;
+    }
+
+    bool operator==(const BlockStallProf &) const = default;
+};
+
+/** Full attribution of one timing run. */
+struct SimProfile
+{
+    std::vector<QueueStallProf> queues;            ///< [queue]
+    std::vector<std::vector<BlockStallProf>> blocks; ///< [core][block]
+
+    /** Size the tables before a run. */
+    void init(const std::vector<int> &blocks_per_core, int num_queues)
+    {
+        queues.assign(static_cast<size_t>(num_queues), {});
+        blocks.clear();
+        blocks.reserve(blocks_per_core.size());
+        for (int nb : blocks_per_core)
+            blocks.emplace_back(static_cast<size_t>(nb),
+                                BlockStallProf{});
+    }
+
+    // Charge sites, called by both engines at identical events.
+    // @p span is 1 in a swept cycle, or the bulk span the fast
+    // engine's cycle-skip jumps over.
+
+    void chargeOperand(int core, int block, uint64_t span)
+    {
+        blocks[core][block].operand += span;
+    }
+
+    void chargeMemPort(int core, int block, uint64_t span)
+    {
+        blocks[core][block].mem_port += span;
+    }
+
+    void chargeQueueFull(int core, int block, int q, uint64_t span)
+    {
+        blocks[core][block].queue_full += span;
+        queues[q].full_cycles += span;
+    }
+
+    void chargeQueueEmpty(int core, int block, int q, uint64_t span)
+    {
+        blocks[core][block].queue_empty += span;
+        queues[q].empty_cycles += span;
+    }
+
+    void chargeSaPort(int core, int block, int q, uint64_t span)
+    {
+        blocks[core][block].sa_port += span;
+        queues[q].sa_port_cycles += span;
+    }
+
+    void noteProduce(int q) { ++queues[q].produces; }
+    void noteConsume(int q) { ++queues[q].consumes; }
+
+    bool operator==(const SimProfile &) const = default;
+};
+
+/**
+ * A core's aggregate stall counters, the independently-maintained
+ * truth the attribution must sum to (CoreStats minus the fields that
+ * are not stalls; the driver converts).
+ */
+struct CoreStallTotals
+{
+    uint64_t operand = 0;
+    uint64_t mem_port = 0;
+    uint64_t queue_full = 0;
+    uint64_t queue_empty = 0;
+    uint64_t sa_port = 0;
+};
+
+/**
+ * The conservation invariant: for every core, the per-block charges
+ * sum exactly to the aggregate counters, and the per-queue charges
+ * sum exactly to the cores' queue-stall totals. @return "" when it
+ * holds, else a description of the first violation.
+ */
+std::string checkStallConservation(
+    const SimProfile &profile,
+    const std::vector<CoreStallTotals> &aggregates);
+
+} // namespace gmt
+
+#endif // GMT_OBS_STALL_PROFILE_HPP

@@ -1,0 +1,93 @@
+#include "obs/stall_report.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+StallReport
+buildStallReport(const SimProfile &profile, uint64_t cycles,
+                 const CommPlan &plan,
+                 const std::vector<int> &queue_of,
+                 const MtProgram &prog)
+{
+    StallReport rep;
+    rep.cycles = cycles;
+
+    // Queues: invert queue_of so every queue lists the plan entries
+    // multiplexed onto it (identity before queue-alloc).
+    GMT_ASSERT(queue_of.size() == plan.placements.size(),
+               "queue_of does not cover the plan");
+    rep.queues.reserve(profile.queues.size());
+    for (size_t q = 0; q < profile.queues.size(); ++q) {
+        QueueAttribution qa;
+        qa.queue = static_cast<int>(q);
+        qa.prof = profile.queues[q];
+        rep.queues.push_back(std::move(qa));
+    }
+    for (size_t pi = 0; pi < queue_of.size(); ++pi) {
+        const int q = queue_of[pi];
+        GMT_ASSERT(q >= 0 && q < static_cast<int>(rep.queues.size()),
+                   "placement ", pi, " maps to unknown queue ", q);
+        const CommPlacement &p = plan.placements[pi];
+        PlacementDesc d;
+        d.placement = static_cast<int>(pi);
+        d.kind = p.kind;
+        d.reg = p.reg;
+        d.src_thread = p.src_thread;
+        d.dst_thread = p.dst_thread;
+        d.num_points = static_cast<int>(p.points.size());
+        rep.queues[q].placements.push_back(d);
+    }
+    std::stable_sort(rep.queues.begin(), rep.queues.end(),
+                     [](const QueueAttribution &a,
+                        const QueueAttribution &b) {
+                         if (a.prof.stallCycles() !=
+                             b.prof.stallCycles())
+                             return a.prof.stallCycles() >
+                                    b.prof.stallCycles();
+                         return a.queue < b.queue;
+                     });
+
+    // Blocks and threads.
+    rep.threads.resize(profile.blocks.size());
+    for (size_t c = 0; c < profile.blocks.size(); ++c) {
+        ThreadAttribution &ta = rep.threads[c];
+        ta.thread = static_cast<int>(c);
+        const Function &f = prog.threads[c];
+        GMT_ASSERT(static_cast<int>(profile.blocks[c].size()) ==
+                       f.numBlocks(),
+                   "profile block table does not match thread ", c);
+        for (size_t b = 0; b < profile.blocks[c].size(); ++b) {
+            const BlockStallProf &bp = profile.blocks[c][b];
+            ta.prof.operand += bp.operand;
+            ta.prof.mem_port += bp.mem_port;
+            ta.prof.queue_full += bp.queue_full;
+            ta.prof.queue_empty += bp.queue_empty;
+            ta.prof.sa_port += bp.sa_port;
+            if (bp.total() == 0)
+                continue;
+            BlockAttribution ba;
+            ba.thread = static_cast<int>(c);
+            ba.block = static_cast<BlockId>(b);
+            ba.label = f.block(static_cast<BlockId>(b)).label();
+            ba.prof = bp;
+            rep.blocks.push_back(std::move(ba));
+        }
+    }
+    std::stable_sort(rep.blocks.begin(), rep.blocks.end(),
+                     [](const BlockAttribution &a,
+                        const BlockAttribution &b) {
+                         if (a.prof.total() != b.prof.total())
+                             return a.prof.total() > b.prof.total();
+                         if (a.thread != b.thread)
+                             return a.thread < b.thread;
+                         return a.block < b.block;
+                     });
+    return rep;
+}
+
+} // namespace gmt

@@ -1,0 +1,114 @@
+#ifndef GMT_OBS_STALL_REPORT_HPP
+#define GMT_OBS_STALL_REPORT_HPP
+
+/**
+ * @file
+ * Rollup of a raw SimProfile into the terms the paper talks in: the
+ * simulator charges stall cycles to (core, block[, queue]); this
+ * layer maps each queue back through the queue allocator's placement
+ * assignment to the comm-plan entries (PDG arcs) multiplexed onto it,
+ * and each (core, block) back to the thread function's block label —
+ * producing the ranked "which communication costs what" view that
+ * tools/gmt-profile prints and the obs-profile pass caches.
+ *
+ * Lives in its own library (gmt_obs_report) because the mapping needs
+ * CommPlan and MtProgram: gmt_obs proper stays below the runtime so
+ * the simulator can link it.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mtcg/comm_plan.hpp"
+#include "obs/stall_profile.hpp"
+#include "runtime/mt_interpreter.hpp"
+
+namespace gmt
+{
+
+/** One comm-plan entry (PDG arc's placement) mapped onto a queue. */
+struct PlacementDesc
+{
+    int placement = -1; ///< index into CommPlan::placements
+    CommKind kind = CommKind::RegisterData;
+    Reg reg = kNoReg;   ///< register carried (RegisterData only)
+    int src_thread = 0;
+    int dst_thread = 0;
+    int num_points = 0;
+
+    bool operator==(const PlacementDesc &) const = default;
+};
+
+/** Stall cost of one allocated queue + everything mapped onto it. */
+struct QueueAttribution
+{
+    int queue = -1;
+    QueueStallProf prof;
+    std::vector<PlacementDesc> placements;
+
+    bool operator==(const QueueAttribution &) const = default;
+};
+
+/** Stall cost of one (thread, source basic block). */
+struct BlockAttribution
+{
+    int thread = 0;
+    BlockId block = kNoBlock;
+    std::string label;
+    BlockStallProf prof;
+
+    bool operator==(const BlockAttribution &) const = default;
+};
+
+/** Per-thread totals (block attributions summed per core). */
+struct ThreadAttribution
+{
+    int thread = 0;
+    BlockStallProf prof;
+
+    bool operator==(const ThreadAttribution &) const = default;
+};
+
+/** The full rollup of one simulated cell. */
+struct StallReport
+{
+    uint64_t cycles = 0; ///< MT cycles of the profiled run
+
+    /** Every allocated queue, sorted by stallCycles() descending. */
+    std::vector<QueueAttribution> queues;
+
+    /**
+     * Every (thread, block) with a nonzero charge, sorted by total()
+     * descending.
+     */
+    std::vector<BlockAttribution> blocks;
+
+    /** Per-thread totals, in thread order. */
+    std::vector<ThreadAttribution> threads;
+
+    uint64_t totalStallCycles() const
+    {
+        uint64_t n = 0;
+        for (const ThreadAttribution &t : threads)
+            n += t.prof.total();
+        return n;
+    }
+
+    bool operator==(const StallReport &) const = default;
+};
+
+/**
+ * Build the rollup. @p queue_of maps plan placement index to the
+ * allocated queue id (ProgramArtifact::queue_of); ties in the sort
+ * orders break toward lower queue / thread / block ids, so the report
+ * is deterministic.
+ */
+StallReport buildStallReport(const SimProfile &profile,
+                             uint64_t cycles, const CommPlan &plan,
+                             const std::vector<int> &queue_of,
+                             const MtProgram &prog);
+
+} // namespace gmt
+
+#endif // GMT_OBS_STALL_REPORT_HPP

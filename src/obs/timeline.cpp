@@ -1,0 +1,75 @@
+#include "obs/timeline.hpp"
+
+#include <cstddef>
+#include <utility>
+
+namespace gmt
+{
+
+const char *
+coreStateName(CoreState s)
+{
+    switch (s) {
+      case CoreState::Compute:
+        return "compute";
+      case CoreState::StallOperand:
+        return "stall:operand";
+      case CoreState::StallMemPort:
+        return "stall:mem-port";
+      case CoreState::StallQueueFull:
+        return "stall:queue-full";
+      case CoreState::StallQueueEmpty:
+        return "stall:queue-empty";
+      case CoreState::StallSaPort:
+        return "stall:sa-port";
+      default:
+        return "idle";
+    }
+}
+
+void
+TimelineBuilder::init(int num_cores, int num_queues)
+{
+    tl_.core.assign(static_cast<size_t>(num_cores), {});
+    tl_.queue.assign(static_cast<size_t>(num_queues), {});
+    open_.assign(static_cast<size_t>(num_cores), {});
+}
+
+void
+TimelineBuilder::noteCoreSpan(int core, CoreState s, uint64_t begin,
+                              uint64_t end)
+{
+    if (begin >= end)
+        return;
+    Open &o = open_[core];
+    if (o.active && o.state == s && o.end == begin) {
+        o.end = end;
+        return;
+    }
+    if (o.active)
+        tl_.core[core].push_back({o.begin, o.end, o.state});
+    o.active = true;
+    o.begin = begin;
+    o.end = end;
+    o.state = s;
+}
+
+void
+TimelineBuilder::noteQueue(int q, uint64_t cycle, int occupancy)
+{
+    tl_.queue[q].push_back({cycle, occupancy});
+}
+
+SimTimeline
+TimelineBuilder::take()
+{
+    for (size_t c = 0; c < open_.size(); ++c) {
+        if (open_[c].active)
+            tl_.core[c].push_back(
+                {open_[c].begin, open_[c].end, open_[c].state});
+        open_[c].active = false;
+    }
+    return std::move(tl_);
+}
+
+} // namespace gmt

@@ -1,0 +1,109 @@
+#ifndef GMT_OBS_TIMELINE_HPP
+#define GMT_OBS_TIMELINE_HPP
+
+/**
+ * @file
+ * Compressed execution timelines of a timing-simulator run, the data
+ * behind the Chrome-trace per-core lanes and queue-occupancy counter
+ * tracks (obs/trace_writer.hpp renders them).
+ *
+ * A core's timeline is a run-length encoding of its per-cycle state
+ * (computing, stalled-on-X, idle-after-ret): the simulator notes one
+ * state per swept cycle (or one span per skipped range) and the
+ * builder merges adjacent cycles in the same state, so a million-cycle
+ * stall is one interval, not a million events. Queue timelines are
+ * occupancy samples taken at every produce/consume — the only cycles
+ * occupancy can change — which makes them exact step functions.
+ *
+ * Both engines note identical per-cycle states (the fast engine's
+ * skip spans cover exactly the cycles the reference sweeps in the
+ * same state), so timelines are engine-independent like everything
+ * else architectural.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace gmt
+{
+
+/** What a core spent a cycle on. */
+enum class CoreState : uint8_t {
+    Compute,         ///< issued >= 1 instruction (or retired Jmps)
+    StallOperand,    ///< scoreboard stall-on-use
+    StallMemPort,    ///< out of M-slots this cycle
+    StallQueueFull,  ///< produce blocked on a full queue
+    StallQueueEmpty, ///< consume blocked on an empty queue
+    StallSaPort,     ///< out of sync-array request ports
+    Idle,            ///< retired; waiting for the other cores
+};
+
+const char *coreStateName(CoreState s);
+
+/** Half-open cycle range [begin, end) in one state. */
+struct CoreInterval
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    CoreState state = CoreState::Compute;
+
+    bool operator==(const CoreInterval &) const = default;
+};
+
+/** Occupancy of a queue immediately after the cycle's access. */
+struct QueueSample
+{
+    uint64_t cycle = 0;
+    int32_t occupancy = 0;
+
+    bool operator==(const QueueSample &) const = default;
+};
+
+/** Timelines of one run. */
+struct SimTimeline
+{
+    std::vector<std::vector<CoreInterval>> core; ///< [core]
+    std::vector<std::vector<QueueSample>> queue; ///< [queue]
+
+    bool operator==(const SimTimeline &) const = default;
+};
+
+/**
+ * Incremental builder. Notes must arrive in nondecreasing cycle order
+ * per core / per queue (the simulators' natural order); adjacent
+ * same-state notes merge into one interval.
+ */
+class TimelineBuilder
+{
+  public:
+    void init(int num_cores, int num_queues);
+
+    void noteCore(int core, CoreState s, uint64_t cycle)
+    {
+        noteCoreSpan(core, s, cycle, cycle + 1);
+    }
+
+    /** Note state @p s for cycles [begin, end); no-op when empty. */
+    void noteCoreSpan(int core, CoreState s, uint64_t begin,
+                      uint64_t end);
+
+    void noteQueue(int q, uint64_t cycle, int occupancy);
+
+    /** Flush open intervals and hand the timeline over. */
+    SimTimeline take();
+
+  private:
+    struct Open
+    {
+        bool active = false;
+        uint64_t begin = 0, end = 0;
+        CoreState state = CoreState::Compute;
+    };
+
+    SimTimeline tl_;
+    std::vector<Open> open_;
+};
+
+} // namespace gmt
+
+#endif // GMT_OBS_TIMELINE_HPP

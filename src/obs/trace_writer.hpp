@@ -1,0 +1,101 @@
+#ifndef GMT_OBS_TRACE_WRITER_HPP
+#define GMT_OBS_TRACE_WRITER_HPP
+
+/**
+ * @file
+ * Chrome trace-event writer: collects trace events from concurrent
+ * producers (pass-manager workers, the obs-profile pass) and
+ * serializes them as the JSON Object Format understood by
+ * chrome://tracing and Perfetto — `{"traceEvents":[...]}` with
+ * complete ("ph":"X"), counter ("ph":"C"), and metadata ("ph":"M")
+ * events.
+ *
+ * Track layout (documented in DESIGN.md "Observability"):
+ *  - pid kPipelinePid ("gmt pipeline"): one lane per worker thread,
+ *    complete events for every executed pass, timestamps in wall-clock
+ *    microseconds since the collector was created;
+ *  - one pid per profiled cell ("sim <cell>"): one lane per simulated
+ *    core carrying compute/stall intervals, plus queue-occupancy
+ *    counter tracks — timestamps in *simulated cycles* (1 cycle
+ *    rendered as 1 us; the two timebases live in different processes,
+ *    so the viewer never mixes them on one track).
+ *
+ * Thread-safety: every method may be called from any thread; events
+ * are rendered to JSON under the collector's lock at record time, so
+ * writing the file at the end is a join.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gmt
+{
+
+/** Event collector + serializer. One per `--trace` file. */
+class TraceCollector
+{
+  public:
+    /** The pid of the pass-pipeline track group. */
+    static constexpr int kPipelinePid = 1;
+
+    TraceCollector();
+
+    /** Wall-clock microseconds since this collector was created. */
+    double nowUs() const;
+
+    /**
+     * Stable per-OS-thread lane id within kPipelinePid (assigned on
+     * first call from a thread; also emits its thread_name metadata).
+     */
+    int64_t laneForThisThread();
+
+    /**
+     * Allocate a fresh pid and emit its process_name metadata
+     * (per-cell simulator track groups).
+     */
+    int registerProcess(const std::string &name);
+
+    /** Name lane @p tid of process @p pid. */
+    void nameThread(int pid, int64_t tid, const std::string &name);
+
+    /**
+     * A complete ("ph":"X") span. String args are JSON-escaped;
+     * numeric args are emitted as numbers.
+     */
+    void completeEvent(
+        const std::string &name, const std::string &cat, int pid,
+        int64_t tid, double ts_us, double dur_us,
+        const std::vector<std::pair<std::string, std::string>>
+            &str_args = {},
+        const std::vector<std::pair<std::string, int64_t>> &num_args =
+            {});
+
+    /** A counter ("ph":"C") sample: one series per track @p name. */
+    void counterEvent(const std::string &name, int pid, double ts_us,
+                      const std::string &series, int64_t value);
+
+    size_t numEvents() const;
+
+    /** Serialize everything recorded so far. */
+    void write(std::ostream &os) const;
+    void writeFile(const std::string &path) const;
+    std::string json() const;
+
+  private:
+    void addEvent(std::string rendered);
+
+    mutable std::mutex mu_;
+    std::vector<std::string> events_;
+    int next_pid_ = kPipelinePid + 1;
+    int64_t next_lane_ = 0;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace gmt
+
+#endif // GMT_OBS_TRACE_WRITER_HPP

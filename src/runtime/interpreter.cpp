@@ -1,5 +1,6 @@
 #include "runtime/interpreter.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace gmt
@@ -58,10 +59,14 @@ interpret(const Function &f, const std::vector<int64_t> &args,
               case Opcode::Jmp:
                 next_slot = 0;
                 break;
-              case Opcode::Ret:
+              case Opcode::Ret: {
                 for (Reg r : f.liveOuts())
                     result.live_outs.push_back(regs[r]);
+                MetricsRegistry &mr = MetricsRegistry::global();
+                mr.counter("interp.runs").add();
+                mr.counter("interp.dyn_instrs").add(result.dyn_instrs);
                 return result;
+              }
               case Opcode::Produce:
               case Opcode::Consume:
               case Opcode::ProduceSync:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
 #include "runtime/interpreter.hpp"
 #include "support/error.hpp"
 
@@ -13,7 +14,7 @@ namespace
 {
 
 /** In-flight architectural state of one core (reference engine). */
-struct CoreState
+struct RefCore
 {
     const Function *f = nullptr;
     std::vector<int64_t> regs;
@@ -136,7 +137,17 @@ CmpSimulator::runReference(const MtProgram &prog,
     SimResult result;
     result.core.assign(nc, {});
 
-    std::vector<CoreState> cores(nc);
+    if (profile_) {
+        std::vector<int> blocks_per_core;
+        blocks_per_core.reserve(nc);
+        for (const Function &f : prog.threads)
+            blocks_per_core.push_back(f.numBlocks());
+        profile_->init(blocks_per_core, prog.num_queues);
+    }
+    if (timeline_)
+        timeline_->init(nc, prog.num_queues);
+
+    std::vector<RefCore> cores(nc);
     for (int c = 0; c < nc; ++c) {
         const Function &f = prog.threads[c];
         cores[c].f = &f;
@@ -157,10 +168,12 @@ CmpSimulator::runReference(const MtProgram &prog,
         bool progressed = false;
 
         for (int c = 0; c < nc; ++c) {
-            CoreState &cs = cores[c];
+            RefCore &cs = cores[c];
             CoreStats &st = result.core[c];
             if (cs.done) {
                 ++st.idle_done;
+                if (timeline_)
+                    timeline_->noteCore(c, CoreState::Idle, now);
                 continue;
             }
             const Function &f = *cs.f;
@@ -168,6 +181,10 @@ CmpSimulator::runReference(const MtProgram &prog,
             int mem_issued = 0;
             int free_ops = 0; // Jmp pseudo-ops retired this cycle
             bool stalled = false;
+            // The (at most one) stall counter charged this cycle;
+            // the timeline's state when nothing issued.
+            CoreState cause = CoreState::Compute;
+            bool charged = false;
 
             while (!cs.done && !stalled &&
                    issued < cfg.issue_width && free_ops < 64) {
@@ -186,15 +203,25 @@ CmpSimulator::runReference(const MtProgram &prog,
                         ready = std::max(ready, cs.reg_ready[r]);
                 }
                 if (ready > now) {
-                    if (issued == 0)
+                    if (issued == 0) {
                         ++st.stall_operand;
+                        if (profile_)
+                            profile_->chargeOperand(c, cs.block, 1);
+                        cause = CoreState::StallOperand;
+                        charged = true;
+                    }
                     break;
                 }
 
                 bool needs_mem_port = usesMemoryPort(in.op);
                 if (needs_mem_port && mem_issued >= cfg.mem_ports) {
-                    if (issued == 0)
+                    if (issued == 0) {
                         ++st.stall_mem_port;
+                        if (profile_)
+                            profile_->chargeMemPort(c, cs.block, 1);
+                        cause = CoreState::StallMemPort;
+                        charged = true;
+                    }
                     break;
                 }
 
@@ -217,11 +244,21 @@ CmpSimulator::runReference(const MtProgram &prog,
                   case Opcode::ProduceSync: {
                     if (!sa.canProduce(in.queue)) {
                         ++st.stall_queue_full;
+                        if (profile_)
+                            profile_->chargeQueueFull(c, cs.block,
+                                                      in.queue, 1);
+                        cause = CoreState::StallQueueFull;
+                        charged = true;
                         stalled = true;
                         continue;
                     }
                     if (!sa.portAvailable()) {
                         ++st.stall_sa_port;
+                        if (profile_)
+                            profile_->chargeSaPort(c, cs.block,
+                                                   in.queue, 1);
+                        cause = CoreState::StallSaPort;
+                        charged = true;
                         sa.notePortConflict();
                         stalled = true;
                         continue;
@@ -230,6 +267,11 @@ CmpSimulator::runReference(const MtProgram &prog,
                                     ? cs.regs[in.src1]
                                     : 1;
                     sa.produce(in.queue, v);
+                    if (profile_)
+                        profile_->noteProduce(in.queue);
+                    if (timeline_)
+                        timeline_->noteQueue(in.queue, now,
+                                             sa.occupancy(in.queue));
                     ++st.comm_instrs;
                     break;
                   }
@@ -237,16 +279,31 @@ CmpSimulator::runReference(const MtProgram &prog,
                   case Opcode::ConsumeSync: {
                     if (!sa.canConsume(in.queue)) {
                         ++st.stall_queue_empty;
+                        if (profile_)
+                            profile_->chargeQueueEmpty(c, cs.block,
+                                                       in.queue, 1);
+                        cause = CoreState::StallQueueEmpty;
+                        charged = true;
                         stalled = true;
                         continue;
                     }
                     if (!sa.portAvailable()) {
                         ++st.stall_sa_port;
+                        if (profile_)
+                            profile_->chargeSaPort(c, cs.block,
+                                                   in.queue, 1);
+                        cause = CoreState::StallSaPort;
+                        charged = true;
                         sa.notePortConflict();
                         stalled = true;
                         continue;
                     }
                     int64_t v = sa.consume(in.queue);
+                    if (profile_)
+                        profile_->noteConsume(in.queue);
+                    if (timeline_)
+                        timeline_->noteQueue(in.queue, now,
+                                             sa.occupancy(in.queue));
                     if (in.op == Opcode::Consume) {
                         cs.regs[in.dst] = v;
                         cs.reg_ready[in.dst] = now + sa.latency();
@@ -297,6 +354,16 @@ CmpSimulator::runReference(const MtProgram &prog,
                     ++cs.pos;
                 }
             }
+
+            if (timeline_) {
+                // issued > 0 wins (a queue stall after issuing still
+                // counts the cycle as compute); a cycle with neither
+                // issues nor a charge retired only free Jmps.
+                CoreState s = (issued > 0 || !charged)
+                                  ? CoreState::Compute
+                                  : cause;
+                timeline_->noteCore(c, s, now);
+            }
         }
 
         if (progressed)
@@ -321,6 +388,9 @@ CmpSimulator::runReference(const MtProgram &prog,
     result.engine.iterations = now;
     result.engine.skipped = 0;
     result.engine.wall_ms = msSince(t0);
+    MetricsRegistry &mr = MetricsRegistry::global();
+    mr.counter("sim.runs").add();
+    mr.counter("sim.cycles").add(result.cycles);
     return result;
 }
 
@@ -376,6 +446,16 @@ CmpSimulator::run(const DecodedProgram &prog,
     SimResult result;
     result.core.assign(nc, {});
 
+    if (profile_) {
+        std::vector<int> blocks_per_core;
+        blocks_per_core.reserve(nc);
+        for (const DecodedThread &t : prog.threads)
+            blocks_per_core.push_back(t.num_blocks);
+        profile_->init(blocks_per_core, prog.num_queues);
+    }
+    if (timeline_)
+        timeline_->init(nc, prog.num_queues);
+
     std::vector<FastCore> cores(nc);
     for (int c = 0; c < nc; ++c) {
         const DecodedThread &t = prog.threads[c];
@@ -411,19 +491,39 @@ CmpSimulator::run(const DecodedProgram &prog,
                 continue;
 
             // Still provably blocked: charge the stall the reference
-            // sweep would recompute and move on.
+            // sweep would recompute and move on. The blocked
+            // instruction is code[ip] (ip never moves while blocked),
+            // so block_of[ip] is the block the reference would charge.
             if (cs.wait == FastCore::Wait::Operand && now < cs.wake) {
                 ++st.stall_operand;
+                if (profile_)
+                    profile_->chargeOperand(
+                        c, cs.t->block_of[cs.ip], 1);
+                if (timeline_)
+                    timeline_->noteCore(c, CoreState::StallOperand,
+                                        now);
                 continue;
             }
             if (cs.wait == FastCore::Wait::QueueFull &&
                 sa.version(cs.wait_queue) == cs.wait_version) {
                 ++st.stall_queue_full;
+                if (profile_)
+                    profile_->chargeQueueFull(
+                        c, cs.t->block_of[cs.ip], cs.wait_queue, 1);
+                if (timeline_)
+                    timeline_->noteCore(c, CoreState::StallQueueFull,
+                                        now);
                 continue;
             }
             if (cs.wait == FastCore::Wait::QueueEmpty &&
                 sa.version(cs.wait_queue) == cs.wait_version) {
                 ++st.stall_queue_empty;
+                if (profile_)
+                    profile_->chargeQueueEmpty(
+                        c, cs.t->block_of[cs.ip], cs.wait_queue, 1);
+                if (timeline_)
+                    timeline_->noteCore(c, CoreState::StallQueueEmpty,
+                                        now);
                 continue;
             }
             cs.wait = FastCore::Wait::None;
@@ -433,6 +533,10 @@ CmpSimulator::run(const DecodedProgram &prog,
             int mem_issued = 0;
             int free_ops = 0; // Jmp pseudo-ops retired this cycle
             bool stalled = false;
+            // The (at most one) stall counter charged this cycle;
+            // mirrors the reference engine's timeline state.
+            CoreState cause = CoreState::Compute;
+            bool charged = false;
 
             while (!cs.done && !stalled &&
                    issued < cfg.issue_width && free_ops < 64) {
@@ -449,16 +553,28 @@ CmpSimulator::run(const DecodedProgram &prog,
                         ready = std::max(ready, cs.reg_ready[r]);
                 }
                 if (ready > now) {
-                    if (issued == 0)
+                    if (issued == 0) {
                         ++st.stall_operand;
+                        if (profile_)
+                            profile_->chargeOperand(
+                                c, cs.t->block_of[cs.ip], 1);
+                        cause = CoreState::StallOperand;
+                        charged = true;
+                    }
                     cs.wait = FastCore::Wait::Operand;
                     cs.wake = ready;
                     break;
                 }
 
                 if (d.mem_port && mem_issued >= cfg.mem_ports) {
-                    if (issued == 0)
+                    if (issued == 0) {
                         ++st.stall_mem_port;
+                        if (profile_)
+                            profile_->chargeMemPort(
+                                c, cs.t->block_of[cs.ip], 1);
+                        cause = CoreState::StallMemPort;
+                        charged = true;
+                    }
                     break;
                 }
 
@@ -481,6 +597,11 @@ CmpSimulator::run(const DecodedProgram &prog,
                   case Opcode::ProduceSync: {
                     if (!sa.canProduce(d.queue)) {
                         ++st.stall_queue_full;
+                        if (profile_)
+                            profile_->chargeQueueFull(
+                                c, cs.t->block_of[cs.ip], d.queue, 1);
+                        cause = CoreState::StallQueueFull;
+                        charged = true;
                         cs.wait = FastCore::Wait::QueueFull;
                         cs.wait_queue = d.queue;
                         cs.wait_version = sa.version(d.queue);
@@ -489,6 +610,11 @@ CmpSimulator::run(const DecodedProgram &prog,
                     }
                     if (!sa.portAvailable()) {
                         ++st.stall_sa_port;
+                        if (profile_)
+                            profile_->chargeSaPort(
+                                c, cs.t->block_of[cs.ip], d.queue, 1);
+                        cause = CoreState::StallSaPort;
+                        charged = true;
                         sa.notePortConflict();
                         stalled = true;
                         continue;
@@ -497,6 +623,11 @@ CmpSimulator::run(const DecodedProgram &prog,
                                     ? cs.regs[d.src1]
                                     : 1;
                     sa.produce(d.queue, v);
+                    if (profile_)
+                        profile_->noteProduce(d.queue);
+                    if (timeline_)
+                        timeline_->noteQueue(d.queue, now,
+                                             sa.occupancy(d.queue));
                     ++st.comm_instrs;
                     break;
                   }
@@ -504,6 +635,11 @@ CmpSimulator::run(const DecodedProgram &prog,
                   case Opcode::ConsumeSync: {
                     if (!sa.canConsume(d.queue)) {
                         ++st.stall_queue_empty;
+                        if (profile_)
+                            profile_->chargeQueueEmpty(
+                                c, cs.t->block_of[cs.ip], d.queue, 1);
+                        cause = CoreState::StallQueueEmpty;
+                        charged = true;
                         cs.wait = FastCore::Wait::QueueEmpty;
                         cs.wait_queue = d.queue;
                         cs.wait_version = sa.version(d.queue);
@@ -512,11 +648,21 @@ CmpSimulator::run(const DecodedProgram &prog,
                     }
                     if (!sa.portAvailable()) {
                         ++st.stall_sa_port;
+                        if (profile_)
+                            profile_->chargeSaPort(
+                                c, cs.t->block_of[cs.ip], d.queue, 1);
+                        cause = CoreState::StallSaPort;
+                        charged = true;
                         sa.notePortConflict();
                         stalled = true;
                         continue;
                     }
                     int64_t v = sa.consume(d.queue);
+                    if (profile_)
+                        profile_->noteConsume(d.queue);
+                    if (timeline_)
+                        timeline_->noteQueue(d.queue, now,
+                                             sa.occupancy(d.queue));
                     if (d.op == Opcode::Consume) {
                         cs.regs[d.dst] = v;
                         cs.reg_ready[d.dst] = now + sa.latency();
@@ -563,6 +709,13 @@ CmpSimulator::run(const DecodedProgram &prog,
                     break;
                 cs.ip = next_ip;
             }
+
+            if (timeline_) {
+                CoreState s = (issued > 0 || !charged)
+                                  ? CoreState::Compute
+                                  : cause;
+                timeline_->noteCore(c, s, now);
+            }
         }
 
         if (progressed)
@@ -603,18 +756,42 @@ CmpSimulator::run(const DecodedProgram &prog,
                 if (next_event < target)
                     target = next_event;
                 if (target > now + 1) {
+                    // Cycles (now, target) are identical no-progress
+                    // sweeps: bulk-charge the same counter — and the
+                    // same (block, queue) attribution — each would
+                    // have charged one at a time.
                     uint64_t span = target - now - 1;
                     for (int c = 0; c < nc; ++c) {
                         FastCore &cs = cores[c];
                         CoreStats &st = result.core[c];
+                        CoreState s;
                         if (cs.done)
                             continue; // closed form, see below
-                        else if (cs.wait == FastCore::Wait::Operand)
+                        else if (cs.wait == FastCore::Wait::Operand) {
                             st.stall_operand += span;
-                        else if (cs.wait == FastCore::Wait::QueueFull)
+                            if (profile_)
+                                profile_->chargeOperand(
+                                    c, cs.t->block_of[cs.ip], span);
+                            s = CoreState::StallOperand;
+                        } else if (cs.wait ==
+                                   FastCore::Wait::QueueFull) {
                             st.stall_queue_full += span;
-                        else
+                            if (profile_)
+                                profile_->chargeQueueFull(
+                                    c, cs.t->block_of[cs.ip],
+                                    cs.wait_queue, span);
+                            s = CoreState::StallQueueFull;
+                        } else {
                             st.stall_queue_empty += span;
+                            if (profile_)
+                                profile_->chargeQueueEmpty(
+                                    c, cs.t->block_of[cs.ip],
+                                    cs.wait_queue, span);
+                            s = CoreState::StallQueueEmpty;
+                        }
+                        if (timeline_)
+                            timeline_->noteCoreSpan(c, s, now + 1,
+                                                    target);
                     }
                     skipped += span;
                     now = target;
@@ -633,6 +810,9 @@ CmpSimulator::run(const DecodedProgram &prog,
         // remaining cycle; that is exactly the cycles after its Ret
         // up to (and including) the last swept cycle, cycles - 1.
         result.core[c].idle_done = now - 1 - cores[c].done_at;
+        if (timeline_)
+            timeline_->noteCoreSpan(c, CoreState::Idle,
+                                    cores[c].done_at + 1, now);
         result.l1_hits += hierarchy.l1(c).hits();
         result.l1_misses += hierarchy.l1(c).misses();
         result.l2_hits += hierarchy.l2(c).hits();
@@ -644,7 +824,26 @@ CmpSimulator::run(const DecodedProgram &prog,
     result.engine.iterations = iterations;
     result.engine.skipped = skipped;
     result.engine.wall_ms = msSince(t0);
+    MetricsRegistry &mr = MetricsRegistry::global();
+    mr.counter("sim.runs").add();
+    mr.counter("sim.cycles").add(result.cycles);
+    mr.counter("sim.skipped_cycles").add(skipped);
     return result;
+}
+
+std::vector<CoreStallTotals>
+stallTotals(const SimResult &r)
+{
+    std::vector<CoreStallTotals> totals(r.core.size());
+    for (size_t c = 0; c < r.core.size(); ++c) {
+        const CoreStats &st = r.core[c];
+        totals[c].operand = st.stall_operand;
+        totals[c].mem_port = st.stall_mem_port;
+        totals[c].queue_full = st.stall_queue_full;
+        totals[c].queue_empty = st.stall_queue_empty;
+        totals[c].sa_port = st.stall_sa_port;
+    }
+    return totals;
 }
 
 SimResult

@@ -45,6 +45,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/stall_profile.hpp"
+#include "obs/timeline.hpp"
 #include "runtime/memory_image.hpp"
 #include "runtime/mt_interpreter.hpp"
 #include "sim/cache.hpp"
@@ -158,6 +160,29 @@ class CmpSimulator
     SimResult run(const DecodedProgram &prog,
                   const std::vector<int64_t> &args, MemoryImage &mem);
 
+    /**
+     * Attach a stall-attribution profile. The simulator sizes it at
+     * the start of the next run and charges every stall cycle to the
+     * (core, block[, queue]) that lost it — at the same architectural
+     * events on both engines, so profiles are engine-independent and
+     * sum exactly to the CoreStats aggregates (the conservation
+     * invariant; see obs/stall_profile.hpp). Nullptr detaches; the
+     * uninstrumented hot loop costs one predictable branch per charge
+     * site.
+     */
+    void setProfile(SimProfile *profile) { profile_ = profile; }
+
+    /**
+     * Attach a timeline builder: one state note per core per simulated
+     * cycle (compute / the charged stall cause / idle; skip spans note
+     * in bulk) and a queue-occupancy sample at every produce/consume.
+     * Nullptr detaches.
+     */
+    void setTimeline(TimelineBuilder *timeline)
+    {
+        timeline_ = timeline;
+    }
+
   private:
     SimResult runReference(const MtProgram &prog,
                            const std::vector<int64_t> &args,
@@ -165,7 +190,15 @@ class CmpSimulator
 
     MachineConfig config_;
     SimEngine engine_;
+    SimProfile *profile_ = nullptr;
+    TimelineBuilder *timeline_ = nullptr;
 };
+
+/**
+ * The stall columns of a SimResult's CoreStats, in the shape the
+ * conservation check takes (obs/stall_profile.hpp).
+ */
+std::vector<CoreStallTotals> stallTotals(const SimResult &r);
 
 /**
  * Convenience: simulate the single-threaded original as a 1-thread

@@ -41,6 +41,8 @@ decodeThread(const Function &f)
         n += static_cast<int32_t>(f.block(b).instrs().size());
     }
     t.code.reserve(n);
+    t.block_of.reserve(n);
+    t.num_blocks = f.numBlocks();
     t.entry = block_start[f.entry()];
 
     for (BlockId b = 0; b < f.numBlocks(); ++b) {
@@ -70,6 +72,7 @@ decodeThread(const Function &f)
                 break;
             }
             t.code.push_back(d);
+            t.block_of.push_back(b);
         }
     }
     GMT_ASSERT(static_cast<int32_t>(t.code.size()) == n);

@@ -62,6 +62,14 @@ struct DecodedThread
     int num_regs = 0;
     std::vector<Reg> params;
     std::vector<Reg> live_outs;
+
+    /**
+     * Source basic block of each decoded index (parallel to @c code).
+     * Cold data — the issue loop never reads it; the stall profiler
+     * uses it to attribute a blocked instruction back to its block.
+     */
+    std::vector<BlockId> block_of;
+    int num_blocks = 0;
 };
 
 /** A whole MtProgram, ready for the fast engine. */

@@ -96,6 +96,13 @@ class SyncArrayTiming
 
     int latency() const { return config_.sa_latency; }
 
+    /** Current occupancy of queue @p q (timeline sampling). */
+    int occupancy(int q) const
+    {
+        GMT_ASSERT(q >= 0 && q < static_cast<int>(queues_.size()));
+        return queues_[q].count;
+    }
+
     bool allDrained() const { return nonempty_ == 0; }
 
     /**

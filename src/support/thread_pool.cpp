@@ -1,16 +1,43 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace gmt
 {
+
+namespace
+{
+
+void
+nameWorker(std::thread &t, int index)
+{
+#if defined(__linux__)
+    // Comm names are capped at 15 chars + NUL; "gmt-worker-N" fits
+    // for any realistic pool size.
+    char name[16];
+    std::snprintf(name, sizeof(name), "gmt-worker-%d", index);
+    pthread_setname_np(t.native_handle(), name);
+#else
+    (void)t;
+    (void)index;
+#endif
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(int num_threads)
 {
     int n = std::max(1, num_threads);
     workers_.reserve(n);
-    for (int i = 0; i < n; ++i)
+    for (int i = 0; i < n; ++i) {
         workers_.emplace_back([this] { workerLoop(); });
+        nameWorker(workers_.back(), i);
+    }
 }
 
 ThreadPool::~ThreadPool()

@@ -26,7 +26,8 @@ namespace
 const std::vector<std::string> kStandardPasses = {
     "build-ir", "edge-split", "verify",      "profile",
     "pdg",      "partition",  "placement",   "mtcg",
-    "queue-alloc", "verify-mt", "mt-run",    "sim"};
+    "queue-alloc", "verify-mt", "mt-run",    "sim",
+    "obs-profile"};
 
 TEST(PassManager, StandardPipelineOrder)
 {
@@ -333,7 +334,7 @@ TEST(Stats, SinkWritesOneRecordPerPassAndCell)
     po.scheduler = Scheduler::Gremio;
     runner.runAll({{makeAdpcmDec(), po}});
 
-    // 12 pass records + 2 sim-engine records (st, mt) + 1 cell record.
+    // 13 pass records + 2 sim-engine records (st, mt) + 1 cell record.
     EXPECT_EQ(sink.recordsWritten(), kStandardPasses.size() + 3);
     std::istringstream in(out.str());
     std::string line;

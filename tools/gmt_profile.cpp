@@ -1,0 +1,435 @@
+/**
+ * @file
+ * gmt-profile: communication-stall profiler CLI.
+ *
+ * Runs every requested workload × scheduler with COCO off and on,
+ * with the obs-profile pass enabled (full timing simulation plus
+ * stall attribution; the pass dies if the attributed cycles do not
+ * sum exactly to the simulator's aggregate counters, so any report
+ * this tool prints is conservation-checked). For each cell it prints
+ * the ranked rollup — the top-cost queues with the comm-plan
+ * placements (PDG arcs) multiplexed onto them, and the top-cost
+ * source blocks — and for each (workload, scheduler) pair the
+ * COCO-on vs COCO-off delta: the paper's Figure 1 story, measured.
+ *
+ *   gmt-profile [--only W1,W2,...] [--scheduler dswp|gremio|both]
+ *               [--threads N] [--max-queues N] [--sim fast|reference]
+ *               [--top N] [--jobs N] [--json FILE] [--trace FILE]
+ *               [--quiet]
+ *
+ * --json writes JSONL records (type:"profile" per cell, type:"queue"
+ * / type:"block" per ranked row, type:"coco-delta" per pair, and one
+ * type:"profile-summary") instead of the text report. --trace
+ * additionally captures a Chrome trace (pass spans + per-core
+ * simulator lanes) loadable in Perfetto.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "driver/stats.hpp"
+#include "support/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace
+{
+
+using namespace gmt;
+
+struct ProfileOptions
+{
+    std::vector<std::string> only;
+    std::vector<Scheduler> schedulers{Scheduler::Dswp,
+                                      Scheduler::Gremio};
+    int num_threads = 2;
+    int max_queues = 0;
+    SimEngine sim_engine = SimEngine::Fast;
+    int top = 5;
+    int jobs = 0;
+    std::string json_path;
+    std::string trace_path;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--only W1,W2,...] [--scheduler dswp|gremio|both] "
+        "[--threads N] [--max-queues N] [--sim fast|reference] "
+        "[--top N] [--jobs N] [--json FILE] [--trace FILE] [--quiet]\n",
+        argv0);
+    std::exit(exit_code);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            parts.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return parts;
+}
+
+ProfileOptions
+parseArgs(int argc, char **argv)
+{
+    ProfileOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             argv[0], arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--only") {
+            opts.only = splitCsv(value());
+        } else if (arg == "--scheduler") {
+            std::string v = value();
+            if (v == "dswp")
+                opts.schedulers = {Scheduler::Dswp};
+            else if (v == "gremio")
+                opts.schedulers = {Scheduler::Gremio};
+            else if (v == "both")
+                opts.schedulers = {Scheduler::Dswp, Scheduler::Gremio};
+            else
+                usage(argv[0], 2);
+        } else if (arg == "--threads") {
+            opts.num_threads = std::atoi(value().c_str());
+        } else if (arg == "--max-queues") {
+            opts.max_queues = std::atoi(value().c_str());
+        } else if (arg == "--sim") {
+            std::string v = value();
+            if (v == "fast")
+                opts.sim_engine = SimEngine::Fast;
+            else if (v == "reference")
+                opts.sim_engine = SimEngine::Reference;
+            else
+                usage(argv[0], 2);
+        } else if (arg == "--top") {
+            opts.top = std::atoi(value().c_str());
+        } else if (arg == "--jobs") {
+            opts.jobs = std::atoi(value().c_str());
+        } else if (arg == "--json") {
+            opts.json_path = value();
+        } else if (arg == "--trace") {
+            opts.trace_path = value();
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+std::string
+cellName(const std::string &workload, Scheduler sched, bool coco)
+{
+    std::string id = workload + "/";
+    id += schedulerName(sched);
+    if (coco)
+        id += "+coco";
+    return id;
+}
+
+std::string
+placementDesc(const PlacementDesc &p)
+{
+    std::string s = "#" + std::to_string(p.placement);
+    if (p.kind == CommKind::RegisterData)
+        s += " r" + std::to_string(p.reg);
+    else
+        s += " sync";
+    s += " T" + std::to_string(p.src_thread) + "->T" +
+         std::to_string(p.dst_thread);
+    if (p.num_points != 1)
+        s += " x" + std::to_string(p.num_points);
+    return s;
+}
+
+double
+pct(uint64_t part, uint64_t whole)
+{
+    return whole ? 100.0 * static_cast<double>(part) /
+                       static_cast<double>(whole)
+                 : 0.0;
+}
+
+void
+printCellText(const std::string &name, const ObsProfileArtifact &obs,
+              int top)
+{
+    const StallReport &r = obs.report;
+    std::printf("=== %s ===\n", name.c_str());
+    std::printf(
+        "  cycles %llu, stall %llu (%.1f%%), comm instrs %llu "
+        "(reg %llu, sync %llu)\n",
+        static_cast<unsigned long long>(r.cycles),
+        static_cast<unsigned long long>(r.totalStallCycles()),
+        pct(r.totalStallCycles(), r.cycles),
+        static_cast<unsigned long long>(obs.communication()),
+        static_cast<unsigned long long>(obs.reg_comm),
+        static_cast<unsigned long long>(obs.mem_sync));
+
+    int shown = 0;
+    for (const QueueAttribution &q : r.queues) {
+        if (shown++ >= top || q.prof.stallCycles() == 0)
+            break;
+        std::string arcs;
+        for (const PlacementDesc &p : q.placements) {
+            if (!arcs.empty())
+                arcs += ", ";
+            arcs += placementDesc(p);
+        }
+        std::printf(
+            "  q%-3d %10llu stall (full %llu, empty %llu, sa %llu; "
+            "%llu prod / %llu cons)  [%s]\n",
+            q.queue,
+            static_cast<unsigned long long>(q.prof.stallCycles()),
+            static_cast<unsigned long long>(q.prof.full_cycles),
+            static_cast<unsigned long long>(q.prof.empty_cycles),
+            static_cast<unsigned long long>(q.prof.sa_port_cycles),
+            static_cast<unsigned long long>(q.prof.produces),
+            static_cast<unsigned long long>(q.prof.consumes),
+            arcs.c_str());
+    }
+    shown = 0;
+    for (const BlockAttribution &b : r.blocks) {
+        if (shown++ >= top)
+            break;
+        std::printf(
+            "  T%d @%-14s %10llu stall (operand %llu, mem %llu, "
+            "qfull %llu, qempty %llu, sa %llu)\n",
+            b.thread, b.label.c_str(),
+            static_cast<unsigned long long>(b.prof.total()),
+            static_cast<unsigned long long>(b.prof.operand),
+            static_cast<unsigned long long>(b.prof.mem_port),
+            static_cast<unsigned long long>(b.prof.queue_full),
+            static_cast<unsigned long long>(b.prof.queue_empty),
+            static_cast<unsigned long long>(b.prof.sa_port));
+    }
+}
+
+void
+emitCellJson(StatsSink &sink, const std::string &name,
+             const std::string &workload, Scheduler sched, bool coco,
+             const ObsProfileArtifact &obs, int top)
+{
+    const StallReport &r = obs.report;
+    JsonObject rec;
+    rec.num("schema", int64_t{1})
+        .str("type", "profile")
+        .str("cell", name)
+        .str("workload", workload)
+        .str("scheduler", schedulerName(sched))
+        .boolean("coco", coco)
+        .num("cycles", r.cycles)
+        .num("stall_cycles", r.totalStallCycles())
+        .num("computation", obs.computation)
+        .num("reg_comm", obs.reg_comm)
+        .num("mem_sync", obs.mem_sync)
+        .str("conservation", "ok");
+    sink.write(rec);
+
+    int shown = 0;
+    for (const QueueAttribution &q : r.queues) {
+        if (shown++ >= top || q.prof.stallCycles() == 0)
+            break;
+        std::string arcs;
+        for (const PlacementDesc &p : q.placements) {
+            if (!arcs.empty())
+                arcs += ", ";
+            arcs += placementDesc(p);
+        }
+        JsonObject qr;
+        qr.num("schema", int64_t{1})
+            .str("type", "queue")
+            .str("cell", name)
+            .num("queue", static_cast<int64_t>(q.queue))
+            .num("full_cycles", q.prof.full_cycles)
+            .num("empty_cycles", q.prof.empty_cycles)
+            .num("sa_port_cycles", q.prof.sa_port_cycles)
+            .num("produces", q.prof.produces)
+            .num("consumes", q.prof.consumes)
+            .str("placements", arcs);
+        sink.write(qr);
+    }
+    shown = 0;
+    for (const BlockAttribution &b : r.blocks) {
+        if (shown++ >= top)
+            break;
+        JsonObject br;
+        br.num("schema", int64_t{1})
+            .str("type", "block")
+            .str("cell", name)
+            .num("thread", static_cast<int64_t>(b.thread))
+            .str("label", b.label)
+            .num("operand", b.prof.operand)
+            .num("mem_port", b.prof.mem_port)
+            .num("queue_full", b.prof.queue_full)
+            .num("queue_empty", b.prof.queue_empty)
+            .num("sa_port", b.prof.sa_port);
+        sink.write(br);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ProfileOptions opts = parseArgs(argc, argv);
+
+    std::unique_ptr<StatsSink> sink;
+    if (!opts.json_path.empty()) {
+        try {
+            sink = std::make_unique<StatsSink>(opts.json_path);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
+    std::vector<Workload> workloads = allWorkloads();
+    if (!opts.only.empty()) {
+        std::vector<Workload> picked;
+        for (const std::string &name : opts.only) {
+            bool found = false;
+            for (Workload &w : workloads) {
+                if (w.name == name) {
+                    picked.push_back(std::move(w));
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr,
+                             "gmt-profile: unknown workload '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+        }
+        workloads = std::move(picked);
+    }
+
+    // One (workload, scheduler) pair = COCO-off cell then COCO-on
+    // cell, adjacent in the grid so the shared codegen prefix caches.
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : workloads) {
+        for (Scheduler sched : opts.schedulers) {
+            for (bool coco : {false, true}) {
+                PipelineOptions po;
+                po.scheduler = sched;
+                po.use_coco = coco;
+                po.num_threads = opts.num_threads;
+                po.max_queues = opts.max_queues;
+                po.sim_engine = opts.sim_engine;
+                po.profile_stalls = true;
+                cells.push_back({w, po});
+            }
+        }
+    }
+
+    std::unique_ptr<TraceCollector> trace;
+    if (!opts.trace_path.empty())
+        trace = std::make_unique<TraceCollector>();
+
+    ExperimentOptions eo;
+    eo.jobs = opts.jobs;
+    eo.stats = sink.get();
+    eo.trace = trace.get();
+    ExperimentRunner runner(eo);
+
+    std::vector<PipelineResult> results;
+    try {
+        results = runner.runAll(cells);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "gmt-profile: %s\n", e.what());
+        return 1;
+    }
+    const auto &profiles = runner.obsProfiles();
+
+    for (size_t i = 0; i + 1 < cells.size(); i += 2) {
+        const Workload &w = cells[i].workload;
+        Scheduler sched = cells[i].opts.scheduler;
+        const ObsProfileArtifact &off = *profiles[i];
+        const ObsProfileArtifact &on = *profiles[i + 1];
+
+        if (sink) {
+            emitCellJson(*sink, cellName(w.name, sched, false), w.name,
+                         sched, false, off, opts.top);
+            emitCellJson(*sink, cellName(w.name, sched, true), w.name,
+                         sched, true, on, opts.top);
+            JsonObject delta;
+            delta.num("schema", int64_t{1})
+                .str("type", "coco-delta")
+                .str("workload", w.name)
+                .str("scheduler", schedulerName(sched))
+                .num("cycles_off", off.report.cycles)
+                .num("cycles_on", on.report.cycles)
+                .num("stall_off", off.report.totalStallCycles())
+                .num("stall_on", on.report.totalStallCycles());
+            sink->write(delta);
+        } else {
+            printCellText(cellName(w.name, sched, false), off,
+                          opts.top);
+            printCellText(cellName(w.name, sched, true), on, opts.top);
+            double dc = pct(on.report.cycles, off.report.cycles);
+            std::printf(
+                "  COCO: cycles %llu -> %llu (%.1f%%), stall %llu -> "
+                "%llu\n\n",
+                static_cast<unsigned long long>(off.report.cycles),
+                static_cast<unsigned long long>(on.report.cycles),
+                dc - 100.0,
+                static_cast<unsigned long long>(
+                    off.report.totalStallCycles()),
+                static_cast<unsigned long long>(
+                    on.report.totalStallCycles()));
+        }
+    }
+
+    if (sink) {
+        JsonObject summary;
+        summary.num("schema", int64_t{1})
+            .str("type", "profile-summary")
+            .num("cells", static_cast<int64_t>(cells.size()))
+            .str("engine", simEngineName(opts.sim_engine))
+            .str("conservation", "ok");
+        sink->write(summary);
+    }
+    if (trace) {
+        trace->writeFile(opts.trace_path);
+        if (!opts.quiet)
+            std::fprintf(stderr,
+                         "[gmt-profile] trace: %s (%zu events)\n",
+                         opts.trace_path.c_str(), trace->numEvents());
+    }
+    if (!opts.quiet) {
+        const ExperimentSummary &s = runner.summary();
+        std::fprintf(stderr,
+                     "[gmt-profile] %d cells, %d jobs, %.0f ms wall, "
+                     "conservation ok\n",
+                     s.cells, s.jobs, s.wall_ms);
+    }
+    return 0;
+}
