@@ -1,7 +1,8 @@
 #include "analysis/loop_info.hpp"
 
 #include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -19,15 +20,26 @@ LoopInfo::LoopInfo(const Function &f, const DominatorTree &dom)
     loop_of_.assign(f.numBlocks(), -1);
 
     // Find back edges (n -> h with h dominating n); merge loops that
-    // share a header.
-    std::map<BlockId, std::vector<BlockId>> header_to_body;
+    // share a header. Few headers per function: a flat vector with
+    // linear find-or-insert beats a node-based map, and sorting by
+    // header afterwards preserves the old ascending iteration order.
+    std::vector<std::pair<BlockId, std::vector<BlockId>>>
+        header_to_body;
+    auto bodyOf = [&](BlockId h) -> std::vector<BlockId> & {
+        for (auto &[header, body] : header_to_body) {
+            if (header == h)
+                return body;
+        }
+        header_to_body.emplace_back(h, std::vector<BlockId>{});
+        return header_to_body.back().second;
+    };
     for (BlockId n = 0; n < f.numBlocks(); ++n) {
         for (BlockId h : f.block(n).succs()) {
             if (!dom.dominates(h, n))
                 continue;
             // Natural loop of (n -> h): h plus all blocks reaching n
             // without passing through h (backward walk from n).
-            auto &body = header_to_body[h];
+            auto &body = bodyOf(h);
             std::vector<bool> in_loop(f.numBlocks(), false);
             in_loop[h] = true;
             std::vector<BlockId> work;
@@ -52,6 +64,10 @@ LoopInfo::LoopInfo(const Function &f, const DominatorTree &dom)
         }
     }
 
+    std::sort(header_to_body.begin(), header_to_body.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
     for (auto &[header, body] : header_to_body) {
         std::sort(body.begin(), body.end());
         body.erase(std::unique(body.begin(), body.end()), body.end());

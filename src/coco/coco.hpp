@@ -20,6 +20,9 @@
 namespace gmt
 {
 
+class ThreadPool;
+class TraceCollector;
+
 /** COCO configuration (ablation switches included). */
 struct CocoOptions
 {
@@ -45,6 +48,25 @@ struct CocoOptions
     int max_iterations = 16;
 };
 
+/**
+ * Execution resources for the optimizer. COCO's cut problems are
+ * solved speculatively in parallel on the shared pool (nested inside
+ * the experiment runner's cell-level tasks via TaskGroup), then
+ * applied serially in canonical order, so the plan is bit-identical
+ * to the serial result at any job count. Defaults mean "all inline".
+ */
+struct CocoExec
+{
+    /** Shared worker pool (may be null: solve inline). */
+    ThreadPool *pool = nullptr;
+
+    /** Parallelism switch: <= 1 solves every cut inline (serial). */
+    int jobs = 1;
+
+    /** Optional Chrome-trace collector for per-solve spans. */
+    TraceCollector *trace = nullptr;
+};
+
 /** Result of the optimizer. */
 struct CocoResult
 {
@@ -68,7 +90,8 @@ CocoResult cocoOptimize(const Function &f, const Pdg &pdg,
                         const ThreadPartition &partition,
                         const ControlDependence &cd,
                         const EdgeProfile &profile,
-                        const CocoOptions &opts = {});
+                        const CocoOptions &opts = {},
+                        const CocoExec &exec = {});
 
 /**
  * Estimated dynamic communication instructions a plan executes

@@ -19,14 +19,19 @@ namespace
 class GraphBuilder
 {
   public:
-    GraphBuilder(const FlowGraphInputs &in, int ts, int tt)
+    GraphBuilder(const FlowGraphInputs &in, FlowGraphScratch &scratch,
+                 int ts, int tt)
         : in_(in), ts_(ts), tt_(tt), f_(*in.f)
     {
-        // Cache transitive control dependences per block for the
-        // penalty terms.
-        trans_deps_.resize(f_.numBlocks());
-        for (BlockId b = 0; b < f_.numBlocks(); ++b)
-            trans_deps_[b] = in_.cd->transitiveDeps(b);
+        if (in.trans_deps) {
+            trans_deps_ = in.trans_deps;
+        } else {
+            scratch.local_trans_deps.resize(f_.numBlocks());
+            for (BlockId b = 0; b < f_.numBlocks(); ++b)
+                scratch.local_trans_deps[b] =
+                    in_.cd->transitiveDeps(b);
+            trans_deps_ = &scratch.local_trans_deps;
+        }
     }
 
     /** §3.1.2: weight of currently-irrelevant-to-tt branches that
@@ -37,7 +42,7 @@ class GraphBuilder
         if (!in_.penalties)
             return 0;
         Capacity pen = 0;
-        for (BlockId branch_block : trans_deps_[b]) {
+        for (BlockId branch_block : (*trans_deps_)[b]) {
             if (!(*in_.relevant)[tt_].test(branch_block))
                 pen += static_cast<Capacity>(
                     in_.profile->blockWeight(branch_block));
@@ -56,23 +61,25 @@ class GraphBuilder
     const FlowGraphInputs &in_;
     int ts_, tt_;
     const Function &f_;
-    std::vector<std::vector<BlockId>> trans_deps_;
+    const std::vector<std::vector<BlockId>> *trans_deps_;
 };
 
 } // namespace
 
-FlowGraph
+void
 buildRegisterFlowGraph(const FlowGraphInputs &in,
                        const SafetyAnalysis &safety,
-                       const ThreadLiveness &live, Reg r, int ts, int tt)
+                       const ThreadLiveness &live, Reg r, int ts,
+                       int tt, FlowGraph &out, FlowGraphScratch &sc)
 {
-    GraphBuilder gb(in, ts, tt);
+    GraphBuilder gb(in, sc, ts, tt);
     const Function &f = *in.f;
-    FlowGraph out;
+    out.clear();
 
     // Per-point liveness of r w.r.t. tt: point_live[b][pos] for
     // pos in [0, size], via one backward walk per block.
-    std::vector<std::vector<char>> point_live(f.numBlocks());
+    auto &point_live = sc.point_live;
+    point_live.resize(f.numBlocks());
     for (BlockId b = 0; b < f.numBlocks(); ++b) {
         const auto &instrs = f.block(b).instrs();
         point_live[b].assign(instrs.size() + 1, 0);
@@ -94,11 +101,13 @@ buildRegisterFlowGraph(const FlowGraphInputs &in,
     }
 
     // Per-point safety of r for ts, forward per block.
-    std::vector<std::vector<char>> point_safe(f.numBlocks());
+    auto &point_safe = sc.point_safe;
+    point_safe.resize(f.numBlocks());
     for (BlockId b = 0; b < f.numBlocks(); ++b) {
         const auto &instrs = f.block(b).instrs();
         point_safe[b].assign(instrs.size() + 1, 0);
-        BitVector safe = safety.safeIn(b);
+        sc.safe = safety.safeIn(b);
+        BitVector &safe = sc.safe;
         for (size_t pos = 0; pos <= instrs.size(); ++pos) {
             if (pos > 0) {
                 // Re-run the transfer via safeAt once per block would
@@ -121,8 +130,10 @@ buildRegisterFlowGraph(const FlowGraphInputs &in,
 
     // Node allocation.
     FlowNetwork &net = out.net;
-    std::vector<int> entry_node(f.numBlocks(), -1);
-    std::vector<std::vector<int>> instr_node(f.numBlocks());
+    auto &entry_node = sc.entry_node;
+    auto &instr_node = sc.instr_node;
+    entry_node.assign(f.numBlocks(), -1);
+    instr_node.resize(f.numBlocks());
     for (BlockId b = 0; b < f.numBlocks(); ++b) {
         const auto &instrs = f.block(b).instrs();
         instr_node[b].assign(instrs.size(), -1);
@@ -229,27 +240,29 @@ buildRegisterFlowGraph(const FlowGraphInputs &in,
         }
     }
     out.trivial = !have_source || !have_sink;
-    return out;
 }
 
-FlowGraph
+void
 buildMemoryFlowGraph(const FlowGraphInputs &in,
                      const std::vector<std::pair<InstrId, InstrId>>
                          &dep_pairs,
-                     int ts, int tt)
+                     int ts, int tt, FlowGraph &out,
+                     FlowGraphScratch &sc)
 {
-    GraphBuilder gb(in, ts, tt);
+    GraphBuilder gb(in, sc, ts, tt);
     const Function &f = *in.f;
-    FlowGraph out;
+    out.clear();
     if (dep_pairs.empty()) {
         out.trivial = true;
-        return out;
+        return;
     }
 
     // Whole-region graph: memory has no liveness restriction (§3.1.3).
     FlowNetwork &net = out.net;
-    std::vector<int> entry_node(f.numBlocks(), -1);
-    std::vector<std::vector<int>> instr_node(f.numBlocks());
+    auto &entry_node = sc.entry_node;
+    auto &instr_node = sc.instr_node;
+    entry_node.assign(f.numBlocks(), -1);
+    instr_node.resize(f.numBlocks());
     for (BlockId b = 0; b < f.numBlocks(); ++b) {
         entry_node[b] = net.addNode();
         const auto &instrs = f.block(b).instrs();
@@ -303,7 +316,6 @@ buildMemoryFlowGraph(const FlowGraphInputs &in,
         int tn = instr_node[f.instr(dst).block][f.positionOf(dst)];
         out.pairs.emplace_back(sn, tn);
     }
-    return out;
 }
 
 } // namespace gmt

@@ -13,6 +13,11 @@
  * execution condition would force new branches into the target
  * thread, plus infinity where a placement would violate Safety
  * (Property 3) or source-thread relevance (Property 2).
+ *
+ * The builders write into a caller-owned FlowGraph and scratch
+ * buffers so that a solver working through thousands of problems
+ * (coco/coco.cpp) reuses one arena per worker instead of allocating
+ * per problem.
  */
 
 #include <utility>
@@ -47,6 +52,18 @@ struct FlowGraph
 
     /** True if there was nothing to build (no defs or no uses). */
     bool trivial = false;
+
+    /** Rewind for reuse, keeping the network's arc storage. */
+    void
+    clear()
+    {
+        net.reset(0);
+        source = -1;
+        sink = -1;
+        pairs.clear();
+        arc_points.clear();
+        trivial = false;
+    }
 };
 
 /** Inputs shared by both builders. */
@@ -60,29 +77,55 @@ struct FlowGraphInputs
     /** Per-thread relevant-branch sets (current Algorithm 2 state). */
     const std::vector<BitVector> *relevant;
 
+    /**
+     * Per-block transitive control dependences, computed once per
+     * cocoOptimize call (ControlDependence::transitiveDeps per block
+     * is too hot to redo per problem). May be null: each builder call
+     * then derives them itself.
+     */
+    const std::vector<std::vector<BlockId>> *trans_deps = nullptr;
+
     /** Apply §3.1.2 control-flow penalties? */
     bool penalties = true;
 };
 
 /**
- * Build G_f for register @p r from thread @p ts to thread @p tt
- * (§3.1.1 + §3.1.2). @p safety is the SafetyAnalysis of @p ts;
- * @p live the ThreadLiveness of @p tt (with its current relevant
- * branches).
+ * Reusable working memory for the builders. One instance per worker;
+ * inner vectors keep their capacity across problems.
  */
-FlowGraph buildRegisterFlowGraph(const FlowGraphInputs &in,
-                                 const SafetyAnalysis &safety,
-                                 const ThreadLiveness &live, Reg r,
-                                 int ts, int tt);
+struct FlowGraphScratch
+{
+    std::vector<std::vector<char>> point_live;
+    std::vector<std::vector<char>> point_safe;
+    std::vector<int> entry_node;
+    std::vector<std::vector<int>> instr_node;
+    BitVector safe;
+
+    /** Fallback for FlowGraphInputs::trans_deps == nullptr. */
+    std::vector<std::vector<BlockId>> local_trans_deps;
+};
 
 /**
- * Build G_f for all memory dependences from @p ts to @p tt (§3.1.3):
- * whole-region graph with one source/sink pair per dependence.
+ * Build G_f for register @p r from thread @p ts to thread @p tt
+ * (§3.1.1 + §3.1.2) into @p out. @p safety is the SafetyAnalysis of
+ * @p ts; @p live the ThreadLiveness of @p tt (with its current
+ * relevant branches).
  */
-FlowGraph buildMemoryFlowGraph(
+void buildRegisterFlowGraph(const FlowGraphInputs &in,
+                            const SafetyAnalysis &safety,
+                            const ThreadLiveness &live, Reg r, int ts,
+                            int tt, FlowGraph &out,
+                            FlowGraphScratch &scratch);
+
+/**
+ * Build G_f for all memory dependences from @p ts to @p tt (§3.1.3)
+ * into @p out: whole-region graph with one source/sink pair per
+ * dependence.
+ */
+void buildMemoryFlowGraph(
     const FlowGraphInputs &in,
     const std::vector<std::pair<InstrId, InstrId>> &dep_pairs, int ts,
-    int tt);
+    int tt, FlowGraph &out, FlowGraphScratch &scratch);
 
 } // namespace gmt
 

@@ -20,8 +20,8 @@ usage(const char *argv0, int exit_code)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--jobs N] [--serial] [--no-cache] "
-        "[--stats FILE] [--only W1,W2,...] [--quiet] "
+        "usage: %s [--jobs N] [--serial] [--coco-jobs N] "
+        "[--no-cache] [--stats FILE] [--only W1,W2,...] [--quiet] "
         "[--no-mtverify] [--sim fast|reference] [--trace FILE]\n",
         argv0);
     std::exit(exit_code);
@@ -63,6 +63,8 @@ parseBenchOptions(int argc, char **argv)
             opts.jobs = std::atoi(value().c_str());
         else if (arg == "--serial")
             opts.jobs = 1;
+        else if (arg == "--coco-jobs")
+            opts.coco_jobs = std::atoi(value().c_str());
         else if (arg == "--no-cache")
             opts.use_cache = false;
         else if (arg == "--stats")
@@ -163,6 +165,8 @@ BenchHarness::runAll(const std::vector<ExperimentCell> &cells)
         if (!opts_.verify_mt)
             cell.opts.verify_mt = false;
         cell.opts.sim_engine = opts_.sim_engine;
+        if (opts_.coco_jobs > 0)
+            cell.opts.coco_jobs = opts_.coco_jobs;
     }
     auto results = runner_->runAll(batch);
     if (!opts_.quiet) {

@@ -444,10 +444,15 @@ passPlacement(PipelineContext &ctx, PassStats &ps)
             const ControlDependence &cd = ctx.pdg->cd;
             auto art = std::make_shared<PlanArtifact>();
             if (ctx.opts.use_coco) {
+                // The plan is bit-identical at any job count (the
+                // artifact may be shared across cells that differ
+                // only in coco_jobs — planKey() has no jobs axis).
+                CocoExec exec{ctx.pool, ctx.opts.coco_jobs,
+                              ctx.trace};
                 auto coco = cocoOptimize(f, pdg,
                                          ctx.partition->partition, cd,
                                          ctx.profile->profile,
-                                         ctx.opts.coco);
+                                         ctx.opts.coco, exec);
                 art->plan = std::move(coco.plan);
                 art->coco_iterations = coco.iterations;
                 auto problems =

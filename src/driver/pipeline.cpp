@@ -1,6 +1,9 @@
 #include "driver/pipeline.hpp"
 
+#include <memory>
+
 #include "driver/pass_manager.hpp"
+#include "support/thread_pool.hpp"
 
 namespace gmt
 {
@@ -19,6 +22,11 @@ PipelineResult
 runPipeline(const Workload &workload, const PipelineOptions &opts)
 {
     PipelineContext ctx(workload, opts);
+    std::unique_ptr<ThreadPool> pool;
+    if (opts.coco_jobs > 1) {
+        pool = std::make_unique<ThreadPool>(opts.coco_jobs);
+        ctx.pool = pool.get();
+    }
     PassManager::standardPipeline().run(ctx);
     return ctx.result;
 }

@@ -10,13 +10,37 @@
 namespace gmt
 {
 
-FlowNetwork::FlowNetwork(int num_nodes) : first_out_(num_nodes) {}
+FlowNetwork::FlowNetwork(int num_nodes)
+{
+    reset(num_nodes);
+}
+
+void
+FlowNetwork::reset(int num_nodes)
+{
+    GMT_ASSERT(num_nodes >= 0);
+    // Clear exactly the slots the new epoch starts with; stale slots
+    // beyond num_nodes are re-cleared by addNode() on reuse. Inner
+    // vectors keep their capacity — that is the arena win.
+    int have = static_cast<int>(first_out_.size());
+    for (int i = 0; i < num_nodes && i < have; ++i)
+        first_out_[i].clear();
+    if (have < num_nodes)
+        first_out_.resize(num_nodes);
+    num_nodes_ = num_nodes;
+    arcs_.clear();
+    tails_.clear();
+    original_cap_.clear();
+}
 
 int
 FlowNetwork::addNode()
 {
-    first_out_.emplace_back();
-    return numNodes() - 1;
+    if (num_nodes_ < static_cast<int>(first_out_.size()))
+        first_out_[num_nodes_].clear(); // stale slot from a reset
+    else
+        first_out_.emplace_back();
+    return num_nodes_++;
 }
 
 int
@@ -48,18 +72,29 @@ FlowNetwork::removeArc(int arc)
 }
 
 MaxFlow::MaxFlow(FlowNetwork &net, FlowAlgorithm algo)
-    : net_(net), algo_(algo)
+    : net_(&net), algo_(algo)
 {
+}
+
+MaxFlow::MaxFlow(FlowAlgorithm algo) : net_(nullptr), algo_(algo) {}
+
+void
+MaxFlow::attach(FlowNetwork &net)
+{
+    net_ = &net;
+    last_s_ = -1;
+    last_t_ = -1;
+    last_flow_ = 0;
 }
 
 void
 MaxFlow::reset()
 {
-    for (int a = 0; a < net_.numArcs(); ++a) {
+    for (int a = 0; a < net_->numArcs(); ++a) {
         // Deleted arcs (capacity -1) stay at zero residual.
-        net_.arcs_[2 * a].residual =
-            std::max<Capacity>(net_.original_cap_[a], 0);
-        net_.arcs_[2 * a + 1].residual = 0;
+        net_->arcs_[2 * a].residual =
+            std::max<Capacity>(net_->original_cap_[a], 0);
+        net_->arcs_[2 * a + 1].residual = 0;
     }
     last_s_ = -1;
     last_flow_ = 0;
@@ -68,6 +103,7 @@ MaxFlow::reset()
 Capacity
 MaxFlow::solve(int s, int t)
 {
+    GMT_ASSERT(net_, "solve() on a detached MaxFlow");
     GMT_ASSERT(s != t);
     last_s_ = s;
     last_t_ = t;
@@ -76,127 +112,182 @@ MaxFlow::solve(int s, int t)
         last_flow_ = solveEdmondsKarp(s, t);
         break;
       case FlowAlgorithm::Dinic:
-        last_flow_ = solveDinic(s, t);
+        last_flow_ = solveDinic(s, t, /*reverse_levels=*/false);
+        break;
+      case FlowAlgorithm::DinicPruned:
+        last_flow_ = solveDinic(s, t, /*reverse_levels=*/true);
         break;
       case FlowAlgorithm::PushRelabel:
         last_flow_ = solvePushRelabel(s, t);
         break;
     }
+#ifndef NDEBUG
+    // Debug-build differential for the fast path: the source-side
+    // minimum cut of a network is unique across maximum flows, so the
+    // pruned solver must report exactly the reference algorithm's cut.
+    if (algo_ == FlowAlgorithm::DinicPruned) {
+        FlowNetwork copy = *net_;
+        MaxFlow ref(copy, FlowAlgorithm::EdmondsKarp);
+        ref.reset();
+        Capacity ref_flow = ref.solve(s, t);
+        GMT_ASSERT(ref_flow == last_flow_,
+                   "DinicPruned flow diverged from Edmonds-Karp");
+        GMT_ASSERT(ref.minCutArcs() == minCutArcs(),
+                   "DinicPruned cut diverged from Edmonds-Karp");
+    }
+#endif
     return last_flow_;
 }
 
 Capacity
 MaxFlow::solveEdmondsKarp(int s, int t)
 {
-    auto &arcs = net_.arcs_;
+    auto &arcs = net_->arcs_;
     Capacity total = 0;
-    std::vector<int> pred_arc(net_.numNodes());
+    pred_arc_.assign(net_->numNodes(), -1);
     while (true) {
         // BFS for a shortest augmenting path.
-        std::fill(pred_arc.begin(), pred_arc.end(), -1);
-        pred_arc[s] = -2;
+        std::fill(pred_arc_.begin(), pred_arc_.end(), -1);
+        pred_arc_[s] = -2;
         std::deque<int> queue{s};
-        while (!queue.empty() && pred_arc[t] == -1) {
+        while (!queue.empty() && pred_arc_[t] == -1) {
             int u = queue.front();
             queue.pop_front();
-            for (int a : net_.first_out_[u]) {
+            for (int a : net_->first_out_[u]) {
                 int v = arcs[a].to;
-                if (pred_arc[v] == -1 && arcs[a].residual > 0) {
-                    pred_arc[v] = a;
+                if (pred_arc_[v] == -1 && arcs[a].residual > 0) {
+                    pred_arc_[v] = a;
                     queue.push_back(v);
                 }
             }
         }
-        if (pred_arc[t] == -1)
+        if (pred_arc_[t] == -1)
             break;
         // Find the bottleneck and augment.
         Capacity bottleneck = std::numeric_limits<Capacity>::max();
         for (int v = t; v != s;) {
-            int a = pred_arc[v];
+            int a = pred_arc_[v];
             bottleneck = std::min(bottleneck, arcs[a].residual);
             v = arcs[a ^ 1].to;
         }
         for (int v = t; v != s;) {
-            int a = pred_arc[v];
+            int a = pred_arc_[v];
             arcs[a].residual -= bottleneck;
             arcs[a ^ 1].residual += bottleneck;
             v = arcs[a ^ 1].to;
         }
         total += bottleneck;
+        ++stats_.augmenting_paths;
     }
     return total;
 }
 
 Capacity
-MaxFlow::solveDinic(int s, int t)
+MaxFlow::solveDinic(int s, int t, bool reverse_levels)
 {
-    auto &arcs = net_.arcs_;
-    const int n = net_.numNodes();
-    std::vector<int> level(n), iter(n);
+    auto &arcs = net_->arcs_;
+    const int n = net_->numNodes();
+    level_.assign(n, -1);
+    iter_.assign(n, 0);
 
+    // Forward levels: BFS distance from s over residual arcs; an
+    // admissible step increases the level. Reverse levels (the pruned
+    // fast path): BFS distance *to* t over residual arcs, walked
+    // backwards from t; an admissible step decreases the level, and
+    // any node that cannot reach t never gets a level at all — the
+    // blocking-flow DFS cannot wander into dead subgraphs the plain
+    // forward levelling still explores and retreats from.
     auto bfs = [&]() -> bool {
-        std::fill(level.begin(), level.end(), -1);
-        level[s] = 0;
+        std::fill(level_.begin(), level_.end(), -1);
+        if (reverse_levels) {
+            level_[t] = 0;
+            std::deque<int> queue{t};
+            while (!queue.empty()) {
+                int x = queue.front();
+                queue.pop_front();
+                // Arc y -> x has residual iff partner b^1 of the
+                // internal arc b = x -> y carries residual capacity.
+                for (int b : net_->first_out_[x]) {
+                    int y = arcs[b].to;
+                    if (level_[y] == -1 && arcs[b ^ 1].residual > 0) {
+                        level_[y] = level_[x] + 1;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            return level_[s] != -1;
+        }
+        level_[s] = 0;
         std::deque<int> queue{s};
         while (!queue.empty()) {
             int u = queue.front();
             queue.pop_front();
-            for (int a : net_.first_out_[u]) {
+            for (int a : net_->first_out_[u]) {
                 int v = arcs[a].to;
-                if (level[v] == -1 && arcs[a].residual > 0) {
-                    level[v] = level[u] + 1;
+                if (level_[v] == -1 && arcs[a].residual > 0) {
+                    level_[v] = level_[u] + 1;
                     queue.push_back(v);
                 }
             }
         }
-        return level[t] != -1;
+        return level_[t] != -1;
+    };
+
+    auto admissible = [&](int u, int v) {
+        return reverse_levels ? level_[u] == level_[v] + 1 &&
+                                    level_[u] != -1 && level_[v] != -1
+                              : level_[v] == level_[u] + 1;
     };
 
     // Iterative blocking-flow DFS.
     Capacity total = 0;
-    std::vector<int> path; // internal arc ids along current path
+    path_.clear(); // internal arc ids along current path
     while (bfs()) {
-        std::fill(iter.begin(), iter.end(), 0);
-        path.clear();
+        std::fill(iter_.begin(), iter_.end(), 0);
+        path_.clear();
         int u = s;
         while (true) {
             if (u == t) {
-                Capacity bottleneck = std::numeric_limits<Capacity>::max();
-                for (int a : path)
-                    bottleneck = std::min(bottleneck, arcs[a].residual);
-                for (int a : path) {
+                Capacity bottleneck =
+                    std::numeric_limits<Capacity>::max();
+                for (int a : path_)
+                    bottleneck =
+                        std::min(bottleneck, arcs[a].residual);
+                for (int a : path_) {
                     arcs[a].residual -= bottleneck;
                     arcs[a ^ 1].residual += bottleneck;
                 }
                 total += bottleneck;
+                ++stats_.augmenting_paths;
                 // Retreat to the first saturated arc on the path.
                 size_t keep = 0;
-                while (keep < path.size() &&
-                       arcs[path[keep]].residual > 0) {
+                while (keep < path_.size() &&
+                       arcs[path_[keep]].residual > 0) {
                     ++keep;
                 }
-                path.resize(keep);
-                u = path.empty() ? s : arcs[path.back()].to;
+                path_.resize(keep);
+                u = path_.empty() ? s : arcs[path_.back()].to;
                 continue;
             }
             bool advanced = false;
-            auto &out = net_.first_out_[u];
-            for (int &i = iter[u]; i < static_cast<int>(out.size()); ++i) {
+            auto &out = net_->first_out_[u];
+            for (int &i = iter_[u]; i < static_cast<int>(out.size());
+                 ++i) {
                 int a = out[i];
                 int v = arcs[a].to;
-                if (arcs[a].residual > 0 && level[v] == level[u] + 1) {
-                    path.push_back(a);
+                if (arcs[a].residual > 0 && admissible(u, v)) {
+                    path_.push_back(a);
                     u = v;
                     advanced = true;
                     break;
                 }
             }
             if (!advanced) {
-                level[u] = -1; // dead end
-                if (path.empty())
+                level_[u] = reverse_levels ? -2 : -1; // dead end
+                if (path_.empty())
                     break;
-                path.pop_back();
-                u = path.empty() ? s : arcs[path.back()].to;
+                path_.pop_back();
+                u = path_.empty() ? s : arcs[path_.back()].to;
             }
         }
     }
@@ -206,21 +297,23 @@ MaxFlow::solveDinic(int s, int t)
 Capacity
 MaxFlow::solvePushRelabel(int s, int t)
 {
-    auto &arcs = net_.arcs_;
-    const int n = net_.numNodes();
-    std::vector<Capacity> excess(n, 0);
-    std::vector<int> height(n, 0), iter(n, 0);
+    auto &arcs = net_->arcs_;
+    const int n = net_->numNodes();
+    excess_.assign(n, 0);
+    height_.assign(n, 0);
+    iter_.assign(n, 0);
     std::deque<int> active;
 
-    height[s] = n;
-    for (int a : net_.first_out_[s]) {
+    height_[s] = n;
+    for (int a : net_->first_out_[s]) {
         if ((a & 1) == 0 && arcs[a].residual > 0) {
             Capacity d = arcs[a].residual;
             int v = arcs[a].to;
             arcs[a].residual = 0;
             arcs[a ^ 1].residual += d;
-            excess[v] += d;
-            if (v != t && v != s && excess[v] == d)
+            excess_[v] += d;
+            ++stats_.augmenting_paths;
+            if (v != t && v != s && excess_[v] == d)
                 active.push_back(v);
         }
     }
@@ -228,54 +321,56 @@ MaxFlow::solvePushRelabel(int s, int t)
     while (!active.empty()) {
         int u = active.front();
         active.pop_front();
-        while (excess[u] > 0) {
-            auto &out = net_.first_out_[u];
-            if (iter[u] == static_cast<int>(out.size())) {
+        while (excess_[u] > 0) {
+            auto &out = net_->first_out_[u];
+            if (iter_[u] == static_cast<int>(out.size())) {
                 // Relabel: height = 1 + min over admissible arcs.
                 int min_h = 2 * n;
                 for (int a : out) {
                     if (arcs[a].residual > 0)
-                        min_h = std::min(min_h, height[arcs[a].to]);
+                        min_h = std::min(min_h, height_[arcs[a].to]);
                 }
                 // An active node always has a residual out-arc (the
                 // reverse of an arc that delivered its excess), and
                 // heights are bounded by 2n-1 in push-relabel.
-                GMT_ASSERT(min_h < 2 * n, "push-relabel height overflow");
-                height[u] = min_h + 1;
-                iter[u] = 0;
+                GMT_ASSERT(min_h < 2 * n,
+                           "push-relabel height overflow");
+                height_[u] = min_h + 1;
+                iter_[u] = 0;
                 continue;
             }
-            int a = out[iter[u]];
+            int a = out[iter_[u]];
             int v = arcs[a].to;
-            if (arcs[a].residual > 0 && height[u] == height[v] + 1) {
-                Capacity d = std::min(excess[u], arcs[a].residual);
+            if (arcs[a].residual > 0 && height_[u] == height_[v] + 1) {
+                Capacity d = std::min(excess_[u], arcs[a].residual);
                 arcs[a].residual -= d;
                 arcs[a ^ 1].residual += d;
-                excess[u] -= d;
-                bool was_inactive = (excess[v] == 0);
-                excess[v] += d;
+                excess_[u] -= d;
+                ++stats_.augmenting_paths;
+                bool was_inactive = (excess_[v] == 0);
+                excess_[v] += d;
                 if (was_inactive && v != s && v != t)
                     active.push_back(v);
             } else {
-                ++iter[u];
+                ++iter_[u];
             }
         }
     }
-    return excess[t];
+    return excess_[t];
 }
 
 std::vector<bool>
 MaxFlow::residualReachable(int s) const
 {
-    std::vector<bool> seen(net_.numNodes(), false);
+    std::vector<bool> seen(net_->numNodes(), false);
     std::vector<int> stack{s};
     seen[s] = true;
     while (!stack.empty()) {
         int u = stack.back();
         stack.pop_back();
-        for (int a : net_.first_out_[u]) {
-            int v = net_.arcs_[a].to;
-            if (!seen[v] && net_.arcs_[a].residual > 0) {
+        for (int a : net_->first_out_[u]) {
+            int v = net_->arcs_[a].to;
+            if (!seen[v] && net_->arcs_[a].residual > 0) {
                 seen[v] = true;
                 stack.push_back(v);
             }
@@ -290,15 +385,15 @@ MaxFlow::residualReaching(int t) const
     // Reverse traversal: x can step to y (against an arc y -> x) iff
     // the arc y -> x has residual capacity; for internal arc b = x->y,
     // its partner b^1 is y -> x.
-    std::vector<bool> seen(net_.numNodes(), false);
+    std::vector<bool> seen(net_->numNodes(), false);
     std::vector<int> stack{t};
     seen[t] = true;
     while (!stack.empty()) {
         int x = stack.back();
         stack.pop_back();
-        for (int b : net_.first_out_[x]) {
-            int y = net_.arcs_[b].to;
-            if (!seen[y] && net_.arcs_[b ^ 1].residual > 0) {
+        for (int b : net_->first_out_[x]) {
+            int y = net_->arcs_[b].to;
+            if (!seen[y] && net_->arcs_[b ^ 1].residual > 0) {
                 seen[y] = true;
                 stack.push_back(y);
             }
@@ -323,10 +418,11 @@ MaxFlow::minCutArcs(CutSide side) const
         source_side.flip();
     }
     std::vector<int> cut;
-    for (int a = 0; a < net_.numArcs(); ++a) {
-        if (net_.original_cap_[a] < 0)
+    for (int a = 0; a < net_->numArcs(); ++a) {
+        if (net_->original_cap_[a] < 0)
             continue; // deleted by removeArc
-        if (source_side[net_.arcTail(a)] && !source_side[net_.arcHead(a)])
+        if (source_side[net_->arcTail(a)] &&
+            !source_side[net_->arcHead(a)])
             cut.push_back(a);
     }
     return cut;

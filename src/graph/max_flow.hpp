@@ -9,9 +9,16 @@
  * (paper §3.1): a cut arc is a program point where a produce/consume
  * pair is inserted. The paper's implementation uses Edmonds-Karp and
  * notes that preflow-push algorithms are available if compile time
- * matters; we provide Edmonds-Karp (the paper's choice), Dinic, and
- * FIFO push-relabel behind one interface, compared in
- * bench/micro_mincut.
+ * matters; we provide Edmonds-Karp (the paper's choice), Dinic, a
+ * reverse-BFS-pruned Dinic fast path, and FIFO push-relabel behind
+ * one interface, compared in bench/micro_mincut.
+ *
+ * Both FlowNetwork and MaxFlow are arena-friendly: reset(n) rewinds a
+ * network without releasing its arc storage, and one MaxFlow instance
+ * can be re-attached to successive networks, reusing its traversal
+ * scratch. COCO's parallel cut solver keeps one of each per worker
+ * and solves thousands of problems without re-allocating
+ * (coco/coco.cpp).
  */
 
 #include <cstdint>
@@ -26,8 +33,14 @@ using Capacity = int64_t;
 /** Effectively-infinite capacity for arcs that must not be cut. */
 inline constexpr Capacity kInfCapacity = int64_t{1} << 50;
 
-/** Which augmenting algorithm MaxFlow::solve uses. */
-enum class FlowAlgorithm { EdmondsKarp, Dinic, PushRelabel };
+/**
+ * Which augmenting algorithm MaxFlow::solve uses. DinicPruned levels
+ * by reverse BFS from the sink, so blocking-flow search never walks
+ * into subgraphs that cannot reach t; its min cut is identical to the
+ * other algorithms' (the source-side minimum cut of a network is
+ * unique across maximum flows), asserted in debug builds.
+ */
+enum class FlowAlgorithm { EdmondsKarp, Dinic, PushRelabel, DinicPruned };
 
 /**
  * Which minimum cut to report when several have equal cost: the one
@@ -56,6 +69,13 @@ class FlowNetwork
   public:
     explicit FlowNetwork(int num_nodes);
 
+    /**
+     * Rewind to an empty network of @p num_nodes nodes, keeping all
+     * previously grown storage (no deallocation): the arena-reuse
+     * path for solvers that build many graphs in sequence.
+     */
+    void reset(int num_nodes);
+
     /** Add a node, returning its id. */
     int addNode();
 
@@ -68,7 +88,7 @@ class FlowNetwork
     /** Zero an arc's capacity (used by the multi-pair heuristic). */
     void removeArc(int arc);
 
-    int numNodes() const { return static_cast<int>(first_out_.size()); }
+    int numNodes() const { return num_nodes_; }
     int numArcs() const { return static_cast<int>(arcs_.size()) / 2; }
 
     int arcTail(int arc) const { return tails_[2 * arc]; }
@@ -89,18 +109,38 @@ class FlowNetwork
     std::vector<Arc> arcs_;
     std::vector<int> tails_;
     std::vector<Capacity> original_cap_;
+
+    // Adjacency slots [0, num_nodes_) are live; slots beyond (left by
+    // a shrinking reset) are dirty and re-cleared on reuse.
     std::vector<std::vector<int>> first_out_; // node -> internal arc ids
+    int num_nodes_ = 0;
 };
 
 /**
  * Max-flow solver over a FlowNetwork. The network's residual state is
  * mutated by solve(); call reset() to restore original capacities.
+ * One instance can serve many networks via attach(), keeping its
+ * traversal scratch vectors across solves.
  */
 class MaxFlow
 {
   public:
     explicit MaxFlow(FlowNetwork &net,
                      FlowAlgorithm algo = FlowAlgorithm::EdmondsKarp);
+
+    /** Detached solver for arena reuse; attach() before solve(). */
+    explicit MaxFlow(FlowAlgorithm algo = FlowAlgorithm::EdmondsKarp);
+
+    /** Rebind to another network (and optionally another algorithm). */
+    void attach(FlowNetwork &net);
+    void setAlgorithm(FlowAlgorithm algo) { algo_ = algo; }
+
+    /** Work counters, accumulated across solve() calls. */
+    struct Stats
+    {
+        /** Augmentations (EK/Dinic) or saturating pushes (preflow). */
+        uint64_t augmenting_paths = 0;
+    };
 
     /** Compute the max flow from @p s to @p t. */
     Capacity solve(int s, int t);
@@ -119,9 +159,11 @@ class MaxFlow
     /** Restore all residual capacities to the original capacities. */
     void reset();
 
+    const Stats &stats() const { return stats_; }
+
   private:
     Capacity solveEdmondsKarp(int s, int t);
-    Capacity solveDinic(int s, int t);
+    Capacity solveDinic(int s, int t, bool reverse_levels);
     Capacity solvePushRelabel(int s, int t);
 
     /** Nodes reachable from s in the residual graph. */
@@ -130,11 +172,18 @@ class MaxFlow
     /** Nodes that can reach t in the residual graph. */
     std::vector<bool> residualReaching(int t) const;
 
-    FlowNetwork &net_;
+    FlowNetwork *net_;
     FlowAlgorithm algo_;
     int last_s_ = -1;
     int last_t_ = -1;
     Capacity last_flow_ = 0;
+    Stats stats_;
+
+    // Traversal scratch, reused across solves (and, via attach(),
+    // across networks).
+    std::vector<int> level_, iter_, pred_arc_, path_;
+    std::vector<Capacity> excess_;
+    std::vector<int> height_;
 };
 
 } // namespace gmt

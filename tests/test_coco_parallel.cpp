@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The parallel COCO contract: speculative parallel cut solving must
+ * produce a comm plan identical to the serial algorithm on every
+ * cell, the nested ThreadPool submission it relies on must be
+ * deadlock-free, and the DinicPruned fast path must find the same
+ * min cut as the reference algorithm (source-side min cuts are
+ * unique across all maximum flows, so this is exact, not heuristic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "coco/coco.hpp"
+#include "driver/pass_manager.hpp"
+#include "graph/max_flow.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace gmt
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Plan identity over the full {GREMIO, DSWP} x workload matrix.
+// ---------------------------------------------------------------
+
+void
+expectSamePlan(const CommPlan &serial, const CommPlan &parallel,
+               const std::string &cell)
+{
+    ASSERT_EQ(serial.placements.size(), parallel.placements.size())
+        << cell;
+    for (size_t i = 0; i < serial.placements.size(); ++i) {
+        const CommPlacement &a = serial.placements[i];
+        const CommPlacement &b = parallel.placements[i];
+        EXPECT_EQ(a.kind, b.kind) << cell << " placement " << i;
+        EXPECT_EQ(a.reg, b.reg) << cell << " placement " << i;
+        EXPECT_EQ(a.src_thread, b.src_thread)
+            << cell << " placement " << i;
+        EXPECT_EQ(a.dst_thread, b.dst_thread)
+            << cell << " placement " << i;
+        EXPECT_EQ(a.points, b.points) << cell << " placement " << i;
+    }
+}
+
+TEST(CocoParallel, PlanIdenticalAtAnyJobCount)
+{
+    ThreadPool pool(4);
+    for (const Workload &w : allWorkloads()) {
+        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
+            PipelineOptions po;
+            po.scheduler = sched;
+            po.use_coco = true;
+            PipelineContext ctx(w, po);
+            PassManager::codegenPipeline().run(ctx);
+
+            const Function &f = ctx.pdg->ir->func;
+            auto solve = [&](const CocoExec &exec) {
+                return cocoOptimize(f, ctx.pdg->pdg,
+                                    ctx.partition->partition,
+                                    ctx.pdg->cd,
+                                    ctx.profile->profile,
+                                    CocoOptions{}, exec);
+            };
+            CocoResult serial = solve(CocoExec{});
+            for (int jobs : {2, 4, 8}) {
+                CocoResult par = solve(CocoExec{&pool, jobs, nullptr});
+                expectSamePlan(serial.plan, par.plan, ctx.cellId());
+                EXPECT_EQ(serial.iterations, par.iterations)
+                    << ctx.cellId();
+                EXPECT_EQ(serial.register_cut_cost,
+                          par.register_cut_cost)
+                    << ctx.cellId();
+                EXPECT_EQ(serial.memory_cut_cost, par.memory_cut_cost)
+                    << ctx.cellId();
+            }
+        }
+    }
+}
+
+// Ablation options must not disturb the contract either.
+TEST(CocoParallel, PlanIdenticalUnderAblations)
+{
+    ThreadPool pool(4);
+    const Workload w = allWorkloads().front();
+    PipelineOptions po;
+    po.scheduler = Scheduler::Dswp;
+    po.use_coco = true;
+    PipelineContext ctx(w, po);
+    PassManager::codegenPipeline().run(ctx);
+    const Function &f = ctx.pdg->ir->func;
+
+    for (bool penalties : {false, true}) {
+        for (bool multi_pair : {false, true}) {
+            CocoOptions opts;
+            opts.control_flow_penalties = penalties;
+            opts.multi_pair_memory = multi_pair;
+            CocoResult serial =
+                cocoOptimize(f, ctx.pdg->pdg,
+                             ctx.partition->partition, ctx.pdg->cd,
+                             ctx.profile->profile, opts, CocoExec{});
+            CocoResult par =
+                cocoOptimize(f, ctx.pdg->pdg,
+                             ctx.partition->partition, ctx.pdg->cd,
+                             ctx.profile->profile, opts,
+                             CocoExec{&pool, 8, nullptr});
+            expectSamePlan(serial.plan, par.plan, ctx.cellId());
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Nested submission on the shared pool.
+// ---------------------------------------------------------------
+
+TEST(TaskGroupNested, TwoLevelsComplete)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 4; ++i) {
+        outer.run([&pool, &done] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 8; ++j)
+                inner.run([&done] { done.fetch_add(1); });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(done.load(), 32);
+}
+
+// Three levels on a single-worker pool: only the claim-and-run-inline
+// protocol keeps this from deadlocking (the one worker is blocked in
+// a nested wait() for most of the run).
+TEST(TaskGroupNested, ThreeLevelsSingleWorker)
+{
+    ThreadPool pool(1);
+    std::atomic<int> done{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 3; ++i) {
+        outer.run([&pool, &done] {
+            TaskGroup mid(pool);
+            for (int j = 0; j < 3; ++j) {
+                mid.run([&pool, &done] {
+                    TaskGroup inner(pool);
+                    for (int k = 0; k < 3; ++k)
+                        inner.run([&done] { done.fetch_add(1); });
+                    inner.wait();
+                });
+            }
+            mid.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(done.load(), 27);
+}
+
+// Concurrent groups on one pool must not steal each other's work or
+// lose completions.
+TEST(TaskGroupNested, ConcurrentGroupsIndependent)
+{
+    ThreadPool pool(3);
+    std::atomic<int> a{0}, b{0};
+    TaskGroup ga(pool);
+    TaskGroup gb(pool);
+    for (int i = 0; i < 50; ++i) {
+        ga.run([&a] { a.fetch_add(1); });
+        gb.run([&b] { b.fetch_add(1); });
+    }
+    ga.wait();
+    EXPECT_EQ(a.load(), 50);
+    gb.wait();
+    EXPECT_EQ(b.load(), 50);
+}
+
+// An empty group's wait() must return immediately.
+TEST(TaskGroupNested, EmptyGroup)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.wait();
+    group.run([] {});
+    group.wait();
+}
+
+// ---------------------------------------------------------------
+// DinicPruned differential on randomized networks.
+// ---------------------------------------------------------------
+
+TEST(DinicPruned, MatchesReferenceOnRandomNetworks)
+{
+    Rng rng(20070205);
+    for (int trial = 0; trial < 60; ++trial) {
+        int n = 4 + static_cast<int>(rng.nextBelow(30));
+        struct Arc
+        {
+            int u, v;
+            Capacity cap;
+        };
+        std::vector<Arc> arcs;
+        for (int e = 0; e < 3 * n; ++e) {
+            int u = static_cast<int>(rng.nextBelow(n));
+            int v = static_cast<int>(rng.nextBelow(n));
+            if (u == v)
+                continue;
+            // Mix finite and infinite capacities, as COCO's flow
+            // graphs do (infinite = "must not cut here").
+            Capacity cap = rng.nextBool(0.15)
+                               ? kInfCapacity
+                               : static_cast<Capacity>(
+                                     1 + rng.nextBelow(50));
+            arcs.push_back({u, v, cap});
+        }
+
+        FlowNetwork ref_net(n), fast_net(n);
+        for (const Arc &a : arcs) {
+            ref_net.addArc(a.u, a.v, a.cap);
+            fast_net.addArc(a.u, a.v, a.cap);
+        }
+        MaxFlow ref(ref_net, FlowAlgorithm::EdmondsKarp);
+        MaxFlow fast(fast_net, FlowAlgorithm::DinicPruned);
+        Capacity ref_flow = ref.solve(0, n - 1);
+        Capacity fast_flow = fast.solve(0, n - 1);
+        ASSERT_EQ(ref_flow, fast_flow) << "trial " << trial;
+        EXPECT_EQ(ref.finite(), fast.finite()) << "trial " << trial;
+        // The source-side min cut is the same for every max flow, so
+        // the chosen arcs must match exactly, not just in cost.
+        EXPECT_EQ(ref.minCutArcs(), fast.minCutArcs())
+            << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------
+// Network arena reuse: reset + attach must behave like fresh builds.
+// ---------------------------------------------------------------
+
+TEST(FlowNetworkReuse, ResetMatchesFreshNetwork)
+{
+    Rng rng(424242);
+    FlowNetwork arena(0);
+    MaxFlow mf(FlowAlgorithm::Dinic);
+    for (int trial = 0; trial < 40; ++trial) {
+        int n = 3 + static_cast<int>(rng.nextBelow(12));
+        arena.reset(n);
+        FlowNetwork fresh(n);
+        for (int e = 0; e < 2 * n; ++e) {
+            int u = static_cast<int>(rng.nextBelow(n));
+            int v = static_cast<int>(rng.nextBelow(n));
+            if (u == v)
+                continue;
+            Capacity cap =
+                static_cast<Capacity>(1 + rng.nextBelow(30));
+            arena.addArc(u, v, cap);
+            fresh.addArc(u, v, cap);
+        }
+        mf.attach(arena);
+        MaxFlow ref(fresh, FlowAlgorithm::EdmondsKarp);
+        Capacity got = mf.solve(0, n - 1);
+        ASSERT_EQ(got, ref.solve(0, n - 1)) << "trial " << trial;
+        EXPECT_EQ(mf.minCutArcs(), ref.minCutArcs())
+            << "trial " << trial;
+    }
+}
+
+TEST(FlowNetworkReuse, AddNodeReusesDirtySlots)
+{
+    FlowNetwork net(2);
+    net.addArc(0, 1, 5);
+    MaxFlow mf(net, FlowAlgorithm::EdmondsKarp);
+    EXPECT_EQ(mf.solve(0, 1), 5);
+
+    net.reset(2);
+    int extra = net.addNode();
+    EXPECT_EQ(extra, 2);
+    net.addArc(0, extra, 3);
+    net.addArc(extra, 1, 3);
+    mf.attach(net);
+    EXPECT_EQ(mf.solve(0, 1), 3);
+}
+
+} // namespace
+} // namespace gmt

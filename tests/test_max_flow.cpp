@@ -198,15 +198,18 @@ TEST(MaxFlowCross, AlgorithmsAgree)
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, MaxFlowAlgo,
                          ::testing::Values(FlowAlgorithm::EdmondsKarp,
                                            FlowAlgorithm::Dinic,
-                                           FlowAlgorithm::PushRelabel),
+                                           FlowAlgorithm::PushRelabel,
+                                           FlowAlgorithm::DinicPruned),
                          [](const auto &info) {
                              switch (info.param) {
                                case FlowAlgorithm::EdmondsKarp:
                                  return "EdmondsKarp";
                                case FlowAlgorithm::Dinic:
                                  return "Dinic";
-                               default:
+                               case FlowAlgorithm::PushRelabel:
                                  return "PushRelabel";
+                               default:
+                                 return "DinicPruned";
                              }
                          });
 

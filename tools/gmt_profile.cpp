@@ -32,6 +32,7 @@
 
 #include "driver/experiment.hpp"
 #include "driver/stats.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "workloads/workload.hpp"
 
@@ -416,6 +417,9 @@ main(int argc, char **argv)
             .str("engine", simEngineName(opts.sim_engine))
             .str("conservation", "ok");
         sink->write(summary);
+        // Republish the global registry (coco solver counters etc.)
+        // as type:"metrics" records, like the bench harness does.
+        writeMetricsRecords(MetricsRegistry::global(), *sink);
     }
     if (trace) {
         trace->writeFile(opts.trace_path);
