@@ -22,7 +22,8 @@ usage(const char *argv0, int exit_code)
         stderr,
         "usage: %s [--jobs N] [--serial] [--coco-jobs N] "
         "[--no-cache] [--stats FILE] [--only W1,W2,...] [--quiet] "
-        "[--no-mtverify] [--sim fast|reference] [--trace FILE]\n",
+        "[--no-mtverify] [--sim fast|reference] [--trace FILE] "
+        "[--workload-dir DIR]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -91,6 +92,8 @@ parseBenchOptions(int argc, char **argv)
         }
         else if (arg == "--trace")
             opts.trace_path = value();
+        else if (arg == "--workload-dir")
+            opts.workload_dir = value();
         else if (arg == "--help" || arg == "-h")
             usage(argv[0], 0);
         else {
@@ -130,7 +133,16 @@ BenchHarness::BenchHarness(const BenchOptions &opts) : opts_(opts)
 std::vector<Workload>
 BenchHarness::workloads() const
 {
-    std::vector<Workload> all = allWorkloads();
+    WorkloadRegistry registry;
+    if (!opts_.workload_dir.empty()) {
+        try {
+            registry.loadDirectory(opts_.workload_dir);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            std::exit(2);
+        }
+    }
+    std::vector<Workload> all = registry.take();
     if (opts_.only.empty())
         return all;
     for (const auto &name : opts_.only) {

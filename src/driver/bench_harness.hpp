@@ -21,6 +21,9 @@
  *   --trace FILE    write a Chrome trace-event JSON timeline (pass
  *                   spans + per-core simulator lanes; load the file
  *                   in Perfetto / chrome://tracing)
+ *   --workload-dir D  load every *.gmt cell in D into the registry
+ *                   (same-name cells replace built-ins, new names
+ *                   append; see workloads/serialize.hpp)
  */
 
 #include <memory>
@@ -47,7 +50,8 @@ struct BenchOptions
     bool quiet = false;
     bool verify_mt = true;
     SimEngine sim_engine = SimEngine::Fast;
-    std::string trace_path; ///< empty = no trace
+    std::string trace_path;    ///< empty = no trace
+    std::string workload_dir;  ///< empty = built-ins only
 };
 
 /**
@@ -67,7 +71,10 @@ class BenchHarness
     BenchHarness(int argc, char **argv);
     explicit BenchHarness(const BenchOptions &opts);
 
-    /** allWorkloads() filtered by --only (order preserved). */
+    /**
+     * The registry (built-ins overlaid with --workload-dir cells)
+     * filtered by --only (order preserved).
+     */
     std::vector<Workload> workloads() const;
 
     /**

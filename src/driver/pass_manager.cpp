@@ -56,26 +56,26 @@ PipelineContext::cellId() const
 std::string
 irKey(const PipelineContext &ctx)
 {
-    return "ir|" + ctx.workload->name;
+    return "ir|" + ctx.workload->cacheKey();
 }
 
 std::string
 profileKey(const PipelineContext &ctx)
 {
-    return "profile|" + ctx.workload->name +
+    return "profile|" + ctx.workload->cacheKey() +
            (ctx.opts.static_profile ? "|static" : "|train");
 }
 
 std::string
 pdgKey(const PipelineContext &ctx)
 {
-    return "pdg|" + ctx.workload->name;
+    return "pdg|" + ctx.workload->cacheKey();
 }
 
 std::string
 partitionKey(const PipelineContext &ctx)
 {
-    return std::string("partition|") + ctx.workload->name + '|' +
+    return std::string("partition|") + ctx.workload->cacheKey() + '|' +
            schedulerName(ctx.opts.scheduler) +
            "|nt=" + std::to_string(ctx.opts.num_threads) +
            (ctx.opts.static_profile ? "|static" : "|train");
@@ -572,7 +572,7 @@ passMtRun(PipelineContext &ctx, PassStats &ps)
     {
         PassStats sub;
         ctx.st_ref = ctx.cached<StRefArtifact>(
-            "stref|" + w.name,
+            "stref|" + w.cacheKey(),
             [&]() -> std::shared_ptr<const StRefArtifact> {
                 auto art = std::make_shared<StRefArtifact>();
                 art->final_mem = workloadMemory(w, /*ref=*/true);
@@ -668,7 +668,7 @@ passSim(PipelineContext &ctx, PassStats &ps)
             // Decoding is machine-independent: one artifact per
             // workload serves every machine config.
             ctx.st_decoded = ctx.cached<StDecodedArtifact>(
-                "stdecode|" + w.name,
+                "stdecode|" + w.cacheKey(),
                 [&, ir]() -> std::shared_ptr<const StDecodedArtifact> {
                     MtProgram p;
                     p.threads.push_back(ir->func);
@@ -681,7 +681,7 @@ passSim(PipelineContext &ctx, PassStats &ps)
         }
         auto st_dec = ctx.st_decoded;
         ctx.st_sim = ctx.cached<StSimArtifact>(
-            "stsim|" + w.name + '|' + core_mkey,
+            "stsim|" + w.cacheKey() + '|' + core_mkey,
             [&, ir, st_ref,
              st_dec]() -> std::shared_ptr<const StSimArtifact> {
                 MemoryImage mem = workloadMemory(w, /*ref=*/true);

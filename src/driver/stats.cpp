@@ -136,8 +136,19 @@ writeMetricsRecords(const MetricsRegistry &registry, StatsSink &sink)
             .str("kind", metricKindName(s.kind));
         if (s.kind == MetricSample::Kind::Histogram) {
             const Histogram::Snapshot &h = s.hist;
+            // Guard the derived moments: an empty histogram has no
+            // mean and a single sample has no spread — both must
+            // render as 0 (0/0 and sqrt of a negative rounding
+            // residue would otherwise leak NaN into the JSONL).
+            double n = static_cast<double>(h.count);
+            double mean = h.count ? h.sum / n : 0.0;
+            double var =
+                h.count >= 2 ? (h.sum_sq / n) - mean * mean : 0.0;
+            double sd = var > 0.0 ? std::sqrt(var) : 0.0;
             rec.num("count", h.count)
                 .num("sum", h.sum)
+                .num("mean", mean)
+                .num("stddev", sd)
                 .num("min", h.count ? h.min : 0.0)
                 .num("max", h.count ? h.max : 0.0);
             std::string buckets;

@@ -1,0 +1,465 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gmt
+{
+
+namespace
+{
+
+/** Mnemonic -> opcode, built once from opcodeName (stays in sync). */
+const std::map<std::string, Opcode, std::less<>> &
+mnemonics()
+{
+    static const std::map<std::string, Opcode, std::less<>> table = [] {
+        std::map<std::string, Opcode, std::less<>> t;
+        for (int v = 0; v <= static_cast<int>(Opcode::ConsumeSync); ++v) {
+            Opcode op = static_cast<Opcode>(v);
+            t.emplace(std::string(opcodeName(op)), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** One line of input with a cursor; all errors cite the line number. */
+class LineCursor
+{
+  public:
+    LineCursor(std::string_view line, int line_no)
+        : line_(line), no_(line_no)
+    {
+    }
+
+    [[noreturn]] void
+    die(const std::string &what) const
+    {
+        fatal("IR parse error at line ", no_, ": ", what, " in '",
+              std::string(line_), "'");
+    }
+
+    void
+    skipSpaces()
+    {
+        while (pos_ < line_.size() && line_[pos_] == ' ')
+            ++pos_;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpaces();
+        return pos_ >= line_.size();
+    }
+
+    /** Consume @p lit (after skipping spaces) or die. */
+    void
+    expect(std::string_view lit)
+    {
+        skipSpaces();
+        if (line_.substr(pos_, lit.size()) != lit)
+            die("expected '" + std::string(lit) + "'");
+        pos_ += lit.size();
+    }
+
+    bool
+    tryConsume(std::string_view lit)
+    {
+        skipSpaces();
+        if (line_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    /** Next token: maximal run of non-space, non-delimiter chars. */
+    std::string
+    token()
+    {
+        skipSpaces();
+        size_t start = pos_;
+        while (pos_ < line_.size() && line_[pos_] != ' ' &&
+               line_[pos_] != ',' && line_[pos_] != '(' &&
+               line_[pos_] != ')' && line_[pos_] != '[' &&
+               line_[pos_] != ']' && line_[pos_] != '{')
+            ++pos_;
+        if (pos_ == start)
+            die("expected a token");
+        return std::string(line_.substr(start, pos_ - start));
+    }
+
+    std::string
+    peekToken()
+    {
+        size_t save = pos_;
+        std::string t = token();
+        pos_ = save;
+        return t;
+    }
+
+    int64_t
+    integer()
+    {
+        skipSpaces();
+        size_t start = pos_;
+        if (pos_ < line_.size() &&
+            (line_[pos_] == '-' || line_[pos_] == '+'))
+            ++pos_;
+        size_t digits = pos_;
+        while (pos_ < line_.size() &&
+               std::isdigit(static_cast<unsigned char>(line_[pos_])))
+            ++pos_;
+        if (pos_ == digits)
+            die("expected an integer");
+        try {
+            return std::stoll(
+                std::string(line_.substr(start, pos_ - start)));
+        } catch (const std::exception &) {
+            die("integer out of range");
+        }
+    }
+
+    /** `rN` or `_` (= kNoReg). */
+    Reg
+    reg()
+    {
+        skipSpaces();
+        if (tryConsume("_"))
+            return kNoReg;
+        expect("r");
+        int64_t n = integer();
+        if (n < 0)
+            die("negative register number");
+        return static_cast<Reg>(n);
+    }
+
+    /** `[rA+IMM]` -> (reg, imm). */
+    std::pair<Reg, int64_t>
+    address()
+    {
+        expect("[");
+        Reg base = reg();
+        expect("+");
+        int64_t imm = integer();
+        expect("]");
+        return {base, imm};
+    }
+
+    /** `[qN]`. */
+    QueueId
+    queue()
+    {
+        expect("[");
+        expect("q");
+        int64_t q = integer();
+        expect("]");
+        return static_cast<QueueId>(q);
+    }
+
+    AliasClass
+    alias()
+    {
+        expect("!alias");
+        return static_cast<AliasClass>(integer());
+    }
+
+  private:
+    std::string_view line_;
+    size_t pos_ = 0;
+    int no_;
+};
+
+struct PendingSuccs
+{
+    BlockId block = kNoBlock;
+    std::vector<std::string> labels;
+    int line_no = 0;
+};
+
+/**
+ * Strip a trailing `; from iN` origin annotation (returns the origin)
+ * and any plain trailing comment from an instruction line.
+ */
+std::string_view
+stripOrigin(std::string_view line, int line_no, InstrId *origin)
+{
+    *origin = kNoInstr;
+    size_t semi = line.find(';');
+    if (semi == std::string_view::npos)
+        return line;
+    std::string_view comment = line.substr(semi + 1);
+    LineCursor c(comment, line_no);
+    if (c.tryConsume("from")) {
+        c.expect("i");
+        *origin = static_cast<InstrId>(c.integer());
+    }
+    // Trim the comment and trailing spaces off the code part.
+    size_t end = semi;
+    while (end > 0 && line[end - 1] == ' ')
+        --end;
+    return line.substr(0, end);
+}
+
+} // namespace
+
+Function
+parseFunction(std::string_view text, int first_line_no, int *lines_used)
+{
+    // Split into lines up front; the grammar is strictly line-based.
+    std::vector<std::string_view> lines;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t nl = text.find('\n', start);
+        if (nl == std::string_view::npos) {
+            if (start < text.size())
+                lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+
+    size_t li = 0;
+    auto line_no = [&]() { return first_line_no + static_cast<int>(li); };
+
+    // Header: func @name(r0, r1) regs N {
+    while (li < lines.size() &&
+           lines[li].find_first_not_of(' ') == std::string_view::npos)
+        ++li;
+    if (li >= lines.size())
+        fatal("IR parse error at line ", line_no(),
+              ": expected 'func @...'");
+    LineCursor header(lines[li], line_no());
+    header.expect("func");
+    header.expect("@");
+    std::string name = header.token();
+    Function f(name);
+    header.expect("(");
+    if (!header.tryConsume(")")) {
+        for (;;) {
+            Reg p = header.reg();
+            if (p == kNoReg)
+                header.die("'_' is not a valid parameter");
+            f.ensureRegs(p + 1);
+            f.addParam(p);
+            if (header.tryConsume(")"))
+                break;
+            header.expect(",");
+        }
+    }
+    int declared_regs = -1;
+    if (header.tryConsume("regs"))
+        declared_regs = static_cast<int>(header.integer());
+    header.expect("{");
+    ++li;
+
+    BlockId current = kNoBlock;
+    BlockId entry = kNoBlock;
+    std::vector<PendingSuccs> pending;
+    bool closed = false;
+    bool saw_ret = false;
+
+    for (; li < lines.size(); ++li) {
+        std::string_view raw = lines[li];
+        size_t first = raw.find_first_not_of(' ');
+        if (first == std::string_view::npos)
+            continue;
+        if (raw.substr(first) == "}") {
+            closed = true;
+            ++li;
+            break;
+        }
+
+        InstrId origin = kNoInstr;
+        std::string_view line = stripOrigin(raw, line_no(), &origin);
+
+        // Block header: `label:` (optionally with the entry marker,
+        // already stripped with the comment).
+        size_t colon = line.find(':');
+        if (first == 0 && colon != std::string_view::npos) {
+            std::string label(line.substr(0, colon));
+            if (label.empty() ||
+                label.find(' ') != std::string::npos)
+                LineCursor(raw, line_no()).die("bad block label");
+            current = f.addBlock(label);
+            // The entry marker travels in the comment the origin
+            // stripper removed; re-check the raw line.
+            if (raw.find("; entry") != std::string_view::npos)
+                entry = current;
+            continue;
+        }
+
+        if (current == kNoBlock)
+            LineCursor(raw, line_no())
+                .die("instruction before the first block label");
+
+        LineCursor c(line, line_no());
+        Instr in;
+        in.origin = origin;
+        std::string tok = c.peekToken();
+
+        if (tok == "store") {
+            c.expect("store");
+            in.op = Opcode::Store;
+            auto [base, imm] = c.address();
+            in.src1 = base;
+            in.imm = imm;
+            c.expect("=");
+            in.src2 = c.reg();
+            in.alias = c.alias();
+            f.append(current, in);
+        } else if (tok == "br") {
+            c.expect("br");
+            in.op = Opcode::Br;
+            in.src1 = c.reg();
+            PendingSuccs ps{current, {}, line_no()};
+            ps.labels.push_back(c.token());
+            ps.labels.push_back(c.token());
+            pending.push_back(std::move(ps));
+            f.append(current, in);
+        } else if (tok == "jmp") {
+            c.expect("jmp");
+            in.op = Opcode::Jmp;
+            PendingSuccs ps{current, {}, line_no()};
+            ps.labels.push_back(c.token());
+            pending.push_back(std::move(ps));
+            f.append(current, in);
+        } else if (tok == "ret") {
+            c.expect("ret");
+            in.op = Opcode::Ret;
+            std::vector<Reg> outs;
+            while (!c.atEnd())
+                outs.push_back(c.reg());
+            if (saw_ret && !outs.empty() && outs != f.liveOuts())
+                c.die("ret live-out lists disagree");
+            if (!saw_ret)
+                f.setLiveOuts(std::move(outs));
+            saw_ret = true;
+            f.append(current, in);
+        } else if (tok == "produce") {
+            c.expect("produce");
+            in.op = Opcode::Produce;
+            in.queue = c.queue();
+            c.expect("=");
+            in.src1 = c.reg();
+            f.append(current, in);
+        } else if (tok == "produce.sync") {
+            c.expect("produce.sync");
+            in.op = Opcode::ProduceSync;
+            in.queue = c.queue();
+            f.append(current, in);
+        } else if (tok == "consume.sync") {
+            c.expect("consume.sync");
+            in.op = Opcode::ConsumeSync;
+            in.queue = c.queue();
+            f.append(current, in);
+        } else {
+            // `dst = rhs` forms.
+            in.dst = c.reg();
+            c.expect("=");
+            std::string rhs = c.token();
+            if (rhs == "const") {
+                in.op = Opcode::Const;
+                in.imm = c.integer();
+            } else if (rhs == "load") {
+                in.op = Opcode::Load;
+                auto [base, imm] = c.address();
+                in.src1 = base;
+                in.imm = imm;
+                in.alias = c.alias();
+            } else if (rhs == "consume") {
+                in.op = Opcode::Consume;
+                in.queue = c.queue();
+            } else {
+                auto it = mnemonics().find(rhs);
+                if (it == mnemonics().end())
+                    c.die("unknown opcode '" + rhs + "'");
+                in.op = it->second;
+                int n = numSrcs(in.op);
+                if (n >= 1)
+                    in.src1 = c.reg();
+                if (n >= 2) {
+                    c.expect(",");
+                    in.src2 = c.reg();
+                }
+            }
+            f.append(current, in);
+        }
+        if (!c.atEnd())
+            c.die("trailing junk");
+    }
+
+    if (!closed)
+        fatal("IR parse error: missing closing '}' for @", name);
+
+    // Resolve branch targets now that every block exists.
+    std::map<std::string, BlockId> by_label;
+    for (BlockId b = 0; b < f.numBlocks(); ++b) {
+        auto [it, fresh] = by_label.emplace(f.block(b).label(), b);
+        if (!fresh)
+            fatal("IR parse error: duplicate block label '",
+                  f.block(b).label(), "' in @", name);
+    }
+    for (const PendingSuccs &ps : pending) {
+        std::vector<BlockId> succs;
+        for (const std::string &label : ps.labels) {
+            auto it = by_label.find(label);
+            if (it == by_label.end())
+                fatal("IR parse error at line ", ps.line_no,
+                      ": unknown branch target '", label, "' in @",
+                      name);
+            succs.push_back(it->second);
+        }
+        f.setSuccs(ps.block, succs);
+    }
+
+    if (f.numBlocks() == 0)
+        fatal("IR parse error: function @", name, " has no blocks");
+    f.setEntry(entry != kNoBlock ? entry : 0);
+
+    if (declared_regs >= 0) {
+        if (declared_regs < f.numRegs())
+            fatal("IR parse error: @", name, " declares regs ",
+                  declared_regs, " but the text references ",
+                  f.numRegs());
+        f.ensureRegs(declared_regs);
+    }
+
+    if (lines_used)
+        *lines_used = static_cast<int>(li);
+    return f;
+}
+
+Function
+parseFunction(std::string_view text)
+{
+    int used = 0;
+    Function f = parseFunction(text, 1, &used);
+    // Anything after the closing brace must be blank.
+    std::vector<std::string_view> rest;
+    size_t start = 0;
+    int line = 0;
+    while (start <= text.size()) {
+        size_t nl = text.find('\n', start);
+        std::string_view l =
+            nl == std::string_view::npos
+                ? text.substr(start)
+                : text.substr(start, nl - start);
+        ++line;
+        if (line > used &&
+            l.find_first_not_of(' ') != std::string_view::npos)
+            fatal("IR parse error at line ", line,
+                  ": text after closing '}'");
+        if (nl == std::string_view::npos)
+            break;
+        start = nl + 1;
+    }
+    return f;
+}
+
+} // namespace gmt

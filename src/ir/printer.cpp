@@ -86,7 +86,10 @@ printFunction(const Function &f, std::ostream &os)
             os << ", ";
         os << regName(f.params()[i]);
     }
-    os << ") {\n";
+    // The register count is part of the form: registers are an arena,
+    // not derivable from the instruction text when some are unused, and
+    // parse(print(f)) must reproduce numRegs() exactly.
+    os << ") regs " << f.numRegs() << " {\n";
     for (BlockId b = 0; b < f.numBlocks(); ++b) {
         const BasicBlock &bb = f.block(b);
         os << bb.label() << ":";

@@ -3,7 +3,16 @@
 
 /**
  * @file
- * Human-readable IR dump, used by examples and test failure output.
+ * Textual IR printer. The output is both the human-readable dump used
+ * by examples and test failure output AND the canonical serialized
+ * form: src/ir/parser.hpp parses exactly this text back into a
+ * Function, and parse(print(f)) is a bit-identical fixpoint (asserted
+ * over the whole workload matrix by tests/test_ir_roundtrip.cpp).
+ * Block and instruction ids are preserved by printing blocks in id
+ * order and instructions in block order — the seed builders emit
+ * instructions in exactly that order, so the arena numbering survives
+ * the round trip and everything keyed on InstrId (PDG nodes,
+ * partitions, comm plans) is identical for built and loaded cells.
  */
 
 #include <iosfwd>

@@ -19,6 +19,7 @@ Histogram::observe(double v)
     }
     ++s_.count;
     s_.sum += v;
+    s_.sum_sq += v * v;
     int b = 0;
     if (v >= 1.0) {
         b = 1 + static_cast<int>(std::floor(std::log2(v)));

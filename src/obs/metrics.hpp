@@ -67,7 +67,8 @@ class Histogram
     {
         uint64_t count = 0;
         double sum = 0.0;
-        double min = 0.0; ///< meaningless when count == 0
+        double sum_sq = 0.0; ///< enables stddev without raw samples
+        double min = 0.0;    ///< meaningless when count == 0
         double max = 0.0;
         uint64_t buckets[kBuckets] = {};
     };

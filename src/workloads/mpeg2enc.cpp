@@ -81,6 +81,10 @@ makeMpeg2Enc()
     Reg isneg = b.cmpLt(d, zero);
     b.br(isneg, neg_fix, accum); // the |a-b| hammock
 
+    b.setBlock(col_body); // row finished: early-exit check
+    Reg over = b.cmpGt(s, distlim);
+    b.br(over, early_out, row_done);
+
     b.setBlock(neg_fix);
     b.unopInto(Opcode::Neg, d, d);
     b.jmp(accum);
@@ -90,10 +94,6 @@ makeMpeg2Enc()
     b.addInto(x, x, one);
     Reg col_more = b.cmpLt(x, sixteen);
     b.br(col_more, col_head, col_body);
-
-    b.setBlock(col_body); // row finished: early-exit check
-    Reg over = b.cmpGt(s, distlim);
-    b.br(over, early_out, row_done);
 
     b.setBlock(row_done);
     b.addInto(y, y, one);

@@ -73,23 +73,23 @@ makeSjeng()
     b.br(is_pawn, knight, knight_chk); // then-block reused below
 
     // Dispatch chain: pawn -> knight -> rook -> queen(default).
+    b.setBlock(knight_chk);
+    Reg is_knight = b.cmpEq(kind, b.constI(2));
+    b.br(is_knight, rook, rook_chk);
+
     b.setBlock(knight); // pawn hit
     Reg pv = b.load(sq, kPsqPawn, kPsqCls);
     b.binopInto(Opcode::Add, delta, pv, b.constI(100));
     b.jmp(sign);
 
-    b.setBlock(knight_chk);
-    Reg is_knight = b.cmpEq(kind, b.constI(2));
-    b.br(is_knight, rook, rook_chk);
+    b.setBlock(rook_chk);
+    Reg is_rook = b.cmpEq(kind, b.constI(3));
+    b.br(is_rook, queen, sign); // default: queen value below
 
     b.setBlock(rook); // knight hit
     Reg kv = b.load(sq, kPsqKnight, kPsqCls);
     b.binopInto(Opcode::Add, delta, kv, b.constI(300));
     b.jmp(sign);
-
-    b.setBlock(rook_chk);
-    Reg is_rook = b.cmpEq(kind, b.constI(3));
-    b.br(is_rook, queen, sign); // default: queen value below
 
     b.setBlock(queen); // rook hit
     Reg rv = b.load(sq, kPsqRook, kPsqCls);

@@ -47,6 +47,31 @@ struct Workload
      * reference (vs train) input content.
      */
     std::function<void(MemoryImage &, bool ref)> fill;
+
+    /**
+     * Where the cell came from: empty for built-in builders, the file
+     * path for cells loaded from a `.gmt` corpus, "<fuzz>" for
+     * generated cells.
+     */
+    std::string source;
+
+    /**
+     * Hex FNV-1a digest of the cell's canonical text (see
+     * workloads/serialize.hpp); empty for built-in builders.
+     */
+    std::string digest;
+
+    /**
+     * ArtifactCache identity of the cell. Built-ins keep the bare name
+     * (so cache keys — and thus figure outputs — are unchanged from
+     * the hard-coded era); loaded/generated cells append the content
+     * digest so two different cells sharing a name never collide.
+     */
+    std::string
+    cacheKey() const
+    {
+        return digest.empty() ? name : name + "#" + digest;
+    }
 };
 
 /** Factories, one per Figure 6(b) row. */
@@ -62,7 +87,42 @@ Workload makeTwolf();
 Workload makeGromacs();
 Workload makeSjeng();
 
-/** All 11 kernels in the paper's order. */
+/**
+ * The workload registry: the 11 built-in builders plus any `.gmt`
+ * cells loaded from corpus directories. A loaded cell whose name
+ * matches an existing entry replaces it in place (keeping the paper's
+ * ordering — this is how the built-vs-loaded bit-identity check swaps
+ * the matrix out from under the figure drivers); new names append in
+ * filename order.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** Starts with the 11 built-ins in the paper's order. */
+    WorkloadRegistry();
+
+    /** Empty registry (e.g. for corpus-only tools). */
+    static WorkloadRegistry empty();
+
+    /**
+     * Load every `*.gmt` file in @p dir (sorted by filename) via
+     * loadWorkloadFile, replace-or-append as described above.
+     * @return the number of cells loaded. Throws FatalError if the
+     * directory is unreadable or any cell is malformed.
+     */
+    int loadDirectory(const std::string &dir);
+
+    /** Replace-or-append one cell. */
+    void add(Workload w);
+
+    const std::vector<Workload> &workloads() const { return cells_; }
+    std::vector<Workload> take() { return std::move(cells_); }
+
+  private:
+    std::vector<Workload> cells_;
+};
+
+/** All 11 built-in kernels in the paper's order. */
 std::vector<Workload> allWorkloads();
 
 } // namespace gmt

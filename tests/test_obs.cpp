@@ -101,6 +101,40 @@ TEST(Metrics, JsonlRecords)
     EXPECT_NE(line.find("\"value\":3"), std::string::npos);
 }
 
+TEST(Metrics, HistogramMomentsAreGuarded)
+{
+    // Empty histograms and single-sample spreads must serialize as
+    // plain zeros — never NaN (which JSON cannot carry) or null.
+    MetricsRegistry reg;
+    reg.histogram("empty");
+    reg.histogram("one").observe(5.0);
+    reg.histogram("two").observe(1.0);
+    reg.histogram("two").observe(3.0);
+
+    std::ostringstream os;
+    StatsSink sink(os);
+    writeMetricsRecords(reg, sink);
+
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)); // "empty"
+    EXPECT_NE(line.find("\"count\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"mean\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"stddev\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"min\":0"), std::string::npos);
+    EXPECT_EQ(line.find("nan"), std::string::npos);
+    EXPECT_EQ(line.find("null"), std::string::npos);
+
+    ASSERT_TRUE(std::getline(in, line)); // "one"
+    EXPECT_NE(line.find("\"mean\":5"), std::string::npos);
+    EXPECT_NE(line.find("\"stddev\":0"), std::string::npos);
+    EXPECT_EQ(line.find("nan"), std::string::npos);
+
+    ASSERT_TRUE(std::getline(in, line)); // "two"
+    EXPECT_NE(line.find("\"mean\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"stddev\":1"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Trace writer: the output must be valid JSON in the Chrome
 // trace-event Object Format. A tiny recursive-descent parser keeps

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * gmt-fuzz: differential fuzzing harness for the schedulers.
+ *
+ * Per seed: generate a random workload cell (workloads/generate.hpp),
+ * run the full pipeline over the DSWP/GREMIO x COCO on/off matrix with
+ * every oracle armed — static MT verification, MT==ST output
+ * equivalence, queue drain, comm-plan validation (all enforced inside
+ * runPipeline, which throws on violation) — and additionally require
+ * the fast and reference timing engines to agree field-for-field on
+ * the PipelineResult. On a violation the failing cell is greedily
+ * reduced (same failure signature) and dumped as a minimal `.gmt`
+ * repro, replayable with `gmt-lint --ir FILE` or any bench driver via
+ * `--workload-dir`.
+ *
+ *   gmt-fuzz [--seeds N] [--start S] [--jobs J] [--threads T]
+ *            [--out FILE.jsonl] [--repro-dir DIR] [--no-reduce]
+ *            [--quiet]
+ *
+ * Seeds are batched one task per seed on the shared ThreadPool; the
+ * JSONL stream carries one `type:"fuzz"` record per seed plus the
+ * process metrics (fuzz.seeds / fuzz.cells / fuzz.violations).
+ * Exit status: 0 iff every seed was violation-free.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "driver/stats.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/generate.hpp"
+#include "workloads/serialize.hpp"
+
+namespace
+{
+
+using namespace gmt;
+
+struct FuzzOptions
+{
+    uint64_t seeds = 100;
+    uint64_t start = 0;
+    int jobs = 0; ///< 0 = hardware default
+    int num_threads = 2;
+    std::string out_path;
+    std::string repro_dir = "fuzz-repros";
+    bool reduce = true;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seeds N] [--start S] [--jobs J] [--threads T] "
+        "[--out FILE.jsonl] [--repro-dir DIR] [--no-reduce] "
+        "[--quiet]\n",
+        argv0);
+    std::exit(exit_code);
+}
+
+FuzzOptions
+parseArgs(int argc, char **argv)
+{
+    FuzzOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds")
+            opts.seeds = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--start")
+            opts.start = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--jobs")
+            opts.jobs = std::atoi(value().c_str());
+        else if (arg == "--threads")
+            opts.num_threads = std::atoi(value().c_str());
+        else if (arg == "--out")
+            opts.out_path = value();
+        else if (arg == "--repro-dir")
+            opts.repro_dir = value();
+        else if (arg == "--no-reduce")
+            opts.reduce = false;
+        else if (arg == "--quiet")
+            opts.quiet = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0], 0);
+        else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    return opts;
+}
+
+/** One scheduler x COCO configuration of the matrix. */
+struct CellConfig
+{
+    Scheduler sched;
+    bool coco;
+
+    std::string
+    label() const
+    {
+        return std::string(schedulerName(sched)) +
+               (coco ? "+COCO" : "");
+    }
+};
+
+constexpr CellConfig kMatrix[] = {
+    {Scheduler::Dswp, false},
+    {Scheduler::Dswp, true},
+    {Scheduler::Gremio, false},
+    {Scheduler::Gremio, true},
+};
+
+/**
+ * What went wrong, stably across reduction: the cell config, the
+ * failure kind, and a message prefix that outlives shrinking (cut at
+ * the first digit so instruction/block ids and counts drop out).
+ */
+struct Signature
+{
+    std::string cell;
+    std::string kind;   ///< "fatal", "panic", "engine-divergence"
+    std::string prefix; ///< leading message text, digits stripped
+
+    bool
+    operator==(const Signature &o) const
+    {
+        return cell == o.cell && kind == o.kind && prefix == o.prefix;
+    }
+};
+
+std::string
+messagePrefix(const char *what)
+{
+    std::string p;
+    for (const char *c = what; *c && p.size() < 48; ++c) {
+        if (*c >= '0' && *c <= '9')
+            break;
+        p += *c;
+    }
+    return p;
+}
+
+PipelineOptions
+cellOptions(const CellConfig &cfg, const FuzzOptions &fuzz,
+            SimEngine engine)
+{
+    PipelineOptions po;
+    po.scheduler = cfg.sched;
+    po.use_coco = cfg.coco;
+    po.num_threads = fuzz.num_threads;
+    po.simulate = true;
+    po.sim_engine = engine;
+    po.verify_mt = true;
+    return po;
+}
+
+/**
+ * Run one (workload, config) cell under both timing engines with
+ * every oracle armed. Returns true and fills @p sig on violation.
+ */
+bool
+runCell(const Workload &w, const CellConfig &cfg,
+        const FuzzOptions &fuzz, Signature *sig)
+{
+    sig->cell = cfg.label();
+    try {
+        PipelineResult fast =
+            runPipeline(w, cellOptions(cfg, fuzz, SimEngine::Fast));
+        PipelineResult ref = runPipeline(
+            w, cellOptions(cfg, fuzz, SimEngine::Reference));
+        if (!(fast == ref)) {
+            sig->kind = "engine-divergence";
+            sig->prefix = "fast and reference timing disagree";
+            return true;
+        }
+    } catch (const FatalError &e) {
+        sig->kind = "fatal";
+        sig->prefix = messagePrefix(e.what());
+        return true;
+    } catch (const PanicError &e) {
+        sig->kind = "panic";
+        sig->prefix = messagePrefix(e.what());
+        return true;
+    }
+    return false;
+}
+
+/** Does @p w still fail with exactly @p want? (reducer predicate) */
+bool
+reproduces(const Workload &w, const CellConfig &cfg,
+           const FuzzOptions &fuzz, const Signature &want)
+{
+    Signature got;
+    return runCell(w, cfg, fuzz, &got) && got == want;
+}
+
+struct SeedOutcome
+{
+    uint64_t seed = 0;
+    bool violation = false;
+    Signature sig;
+    std::string repro_path;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzOptions opts = parseArgs(argc, argv);
+
+    std::unique_ptr<StatsSink> sink;
+    if (!opts.out_path.empty()) {
+        try {
+            sink = std::make_unique<StatsSink>(opts.out_path);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    Counter &c_seeds = metrics.counter("fuzz.seeds");
+    Counter &c_cells = metrics.counter("fuzz.cells");
+    Counter &c_violations = metrics.counter("fuzz.violations");
+
+    int jobs = opts.jobs > 0 ? opts.jobs : ThreadPool::hardwareDefault();
+    ThreadPool pool(jobs);
+
+    std::mutex mu;
+    std::vector<SeedOutcome> violations;
+
+    for (uint64_t s = 0; s < opts.seeds; ++s) {
+        uint64_t seed = opts.start + s;
+        pool.submit([seed, &opts, &mu, &violations, &sink, &c_seeds,
+                     &c_cells, &c_violations]() {
+            SeedOutcome out;
+            out.seed = seed;
+            Workload w = generateWorkload(seed);
+            c_seeds.add();
+            for (const CellConfig &cfg : kMatrix) {
+                c_cells.add();
+                Signature sig;
+                if (!runCell(w, cfg, opts, &sig))
+                    continue;
+                out.violation = true;
+                out.sig = sig;
+                c_violations.add();
+
+                Workload repro = w;
+                if (opts.reduce) {
+                    repro = reduceWorkload(
+                        w, [&](const Workload &c) {
+                            return reproduces(c, cfg, opts, sig);
+                        });
+                }
+                try {
+                    std::filesystem::create_directories(
+                        opts.repro_dir);
+                    out.repro_path =
+                        opts.repro_dir + "/" + w.name + "-" +
+                        std::string(schedulerName(cfg.sched)) +
+                        (cfg.coco ? "-coco" : "") + ".gmt";
+                    saveWorkloadFile(repro, out.repro_path);
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr,
+                                 "gmt-fuzz: cannot dump repro: %s\n",
+                                 e.what());
+                }
+                break; // one violation per seed is enough
+            }
+
+            std::lock_guard<std::mutex> lock(mu);
+            if (out.violation) {
+                violations.push_back(out);
+                std::fprintf(
+                    stderr,
+                    "[gmt-fuzz] seed %llu VIOLATION %s: %s '%s'%s%s\n",
+                    static_cast<unsigned long long>(out.seed),
+                    out.sig.cell.c_str(), out.sig.kind.c_str(),
+                    out.sig.prefix.c_str(),
+                    out.repro_path.empty() ? "" : " repro: ",
+                    out.repro_path.c_str());
+            }
+            if (sink) {
+                JsonObject rec;
+                rec.str("type", "fuzz")
+                    .num("seed", static_cast<uint64_t>(out.seed))
+                    .str("status", out.violation ? "violation" : "ok");
+                if (out.violation) {
+                    rec.str("cell", out.sig.cell)
+                        .str("kind", out.sig.kind)
+                        .str("message", out.sig.prefix)
+                        .str("repro", out.repro_path);
+                }
+                sink->write(rec);
+            }
+        });
+    }
+    pool.wait();
+
+    if (sink)
+        writeMetricsRecords(metrics, *sink);
+    if (!opts.quiet)
+        std::fprintf(
+            stderr,
+            "[gmt-fuzz] %llu seeds x %zu cells, %zu violations\n",
+            static_cast<unsigned long long>(opts.seeds),
+            std::size(kMatrix), violations.size());
+
+    return violations.empty() ? 0 : 1;
+}

@@ -11,9 +11,15 @@
  * and exits nonzero iff any cell has errors (or, under --werror, any
  * warnings).
  *
- *   gmt-lint [--only W1,W2,...] [--scheduler dswp|gremio|both]
+ *   gmt-lint [--only W1,W2,...] [--ir FILE.gmt ...]
+ *            [--scheduler dswp|gremio|both]
  *            [--coco on|off|both] [--threads N] [--max-queues N]
  *            [--static-profile] [--werror] [--json FILE] [--quiet]
+ *
+ * `--ir FILE.gmt` (repeatable) lints serialized cells instead of the
+ * built-in workloads: each file is parsed, IR-verified (a malformed
+ * file is itself a lint error), then run through the same codegen +
+ * MT-verification matrix. This is the replay path for gmt-fuzz repros.
  */
 
 #include <cstdio>
@@ -26,6 +32,7 @@
 #include "driver/stats.hpp"
 #include "mtverify/mtverify.hpp"
 #include "support/error.hpp"
+#include "workloads/serialize.hpp"
 #include "workloads/workload.hpp"
 
 namespace
@@ -36,6 +43,7 @@ using namespace gmt;
 struct LintOptions
 {
     std::vector<std::string> only;
+    std::vector<std::string> ir_files;
     std::vector<Scheduler> schedulers{Scheduler::Dswp,
                                       Scheduler::Gremio};
     std::vector<bool> coco_modes{false, true};
@@ -52,7 +60,8 @@ usage(const char *argv0, int exit_code)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--only W1,W2,...] [--scheduler dswp|gremio|both] "
+        "usage: %s [--only W1,W2,...] [--ir FILE.gmt ...] "
+        "[--scheduler dswp|gremio|both] "
         "[--coco on|off|both] [--threads N] [--max-queues N] "
         "[--static-profile] [--werror] [--json FILE] [--quiet]\n",
         argv0);
@@ -91,6 +100,8 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--only") {
             opts.only = splitCsv(value());
+        } else if (arg == "--ir") {
+            opts.ir_files.push_back(value());
         } else if (arg == "--scheduler") {
             std::string v = value();
             if (v == "dswp")
@@ -169,7 +180,25 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<Workload> workloads = allWorkloads();
+    int cells = 0, total_errors = 0, total_warnings = 0;
+    int broken_cells = 0;
+
+    std::vector<Workload> workloads;
+    if (opts.ir_files.empty()) {
+        workloads = allWorkloads();
+    } else {
+        // Lint serialized cells: a file that fails to parse or
+        // IR-verify is a finding in its own right, not a tool crash.
+        for (const std::string &path : opts.ir_files) {
+            try {
+                workloads.push_back(loadWorkloadFile(path));
+            } catch (const FatalError &e) {
+                ++broken_cells;
+                std::fprintf(stderr, "gmt-lint: %s: %s\n",
+                             path.c_str(), e.what());
+            }
+        }
+    }
     if (!opts.only.empty()) {
         std::vector<Workload> picked;
         for (const std::string &name : opts.only) {
@@ -190,9 +219,6 @@ main(int argc, char **argv)
         }
         workloads = std::move(picked);
     }
-
-    int cells = 0, total_errors = 0, total_warnings = 0;
-    int broken_cells = 0;
 
     for (const Workload &w : workloads) {
         for (Scheduler sched : opts.schedulers) {
