@@ -81,6 +81,7 @@ validatePlanDiags(const Function &f, const Pdg &pdg,
         }
     }
     if (!problems.empty()) {
+        sortDiags(problems);
         dedupeDiags(problems);
         return problems;
     }
@@ -174,6 +175,7 @@ validatePlanDiags(const Function &f, const Pdg &pdg,
                      " has an uncovered path");
         }
     }
+    sortDiags(problems);
     dedupeDiags(problems);
     return problems;
 }

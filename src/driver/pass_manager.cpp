@@ -552,10 +552,12 @@ passVerifyMt(PipelineContext &ctx, PassStats &ps)
     in.plan = &ctx.plan->plan;
     in.queue_of = &ctx.prog->queue_of;
     in.prog = &ctx.prog->prog;
+    in.check_hb = ctx.opts.verify_hb;
     MtVerifyResult res = verifyMtProgram(in);
     ps.add("diags", static_cast<int64_t>(res.diags.size()));
     ps.add("errors", res.errors());
     ps.add("warnings", res.warnings());
+    ps.add("hb_pairs", res.hb_pairs);
     if (!res.ok())
         fatal("MT verification failed for ", ctx.cellId(), ":\n",
               res.render());

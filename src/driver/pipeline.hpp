@@ -95,6 +95,12 @@ struct PipelineOptions
     bool verify_mt = true;
 
     /**
+     * Within verify-mt, run the happens-before race check (theorem 4,
+     * mtverify/hb.hpp). On by default; gmt-lint exposes --no-hb.
+     */
+    bool verify_hb = true;
+
+    /**
      * Run the obs-profile pass: re-simulate the MT program with stall
      * attribution and timeline collection attached and publish the
      * rollup as an ObsProfileArtifact (dies if the attribution does

@@ -37,6 +37,9 @@ mtvCodeName(MtvCode code)
       case MtvCode::QueueImbalance:        return "queue-imbalance";
       case MtvCode::TokenKindMismatch:     return "token-kind-mismatch";
       case MtvCode::DeadlockCycle:         return "deadlock-cycle";
+      case MtvCode::HbDataRace:            return "hb-data-race";
+      case MtvCode::HbSyncWrongPath:       return "hb-sync-wrong-path";
+      case MtvCode::HbRedundantSync:       return "hb-redundant-sync";
       case MtvCode::PlanInvalidPoint:      return "plan-invalid-point";
       case MtvCode::PlanSourceIrrelevant:  return "plan-source-irrelevant";
       case MtvCode::PlanUnsafePoint:       return "plan-unsafe-point";
@@ -88,6 +91,19 @@ dedupeDiags(std::vector<MtvDiag> &diags)
             unique.push_back(std::move(d));
     }
     diags = std::move(unique);
+}
+
+void
+sortDiags(std::vector<MtvDiag> &diags)
+{
+    std::stable_sort(
+        diags.begin(), diags.end(),
+        [](const MtvDiag &a, const MtvDiag &b) {
+            return std::tie(a.code, a.block, a.pos, a.instr, a.queue,
+                            a.thread, a.severity, a.message) <
+                   std::tie(b.code, b.block, b.pos, b.instr, b.queue,
+                            b.thread, b.severity, b.message);
+        });
 }
 
 int

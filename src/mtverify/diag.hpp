@@ -61,6 +61,11 @@ enum class MtvCode {
     // Theorem 3: deadlock freedom.
     DeadlockCycle, ///< wait-for cycle not broken by queue capacity
 
+    // Theorem 4: race freedom (happens-before engine, hb.hpp).
+    HbDataRace,      ///< conflicting cross-thread pair never ordered
+    HbSyncWrongPath, ///< sync exists but misses a path to the pair
+    HbRedundantSync, ///< sync placement orders nothing (warning)
+
     // Plan validation (coco/validate.cpp).
     PlanInvalidPoint,     ///< placement point outside the CFG
     PlanSourceIrrelevant, ///< Property 2 violated
@@ -102,6 +107,14 @@ std::string renderDiag(const MtvDiag &d);
  * per distinct finding keeps logs readable.)
  */
 void dedupeDiags(std::vector<MtvDiag> &diags);
+
+/**
+ * Deterministic order: by code, then block, pos, instr, queue,
+ * thread, severity, message. Renders and JSON streams sorted this way
+ * are stable across worker counts and discovery order, which keeps
+ * fuzz-repro signatures and CI greps reproducible.
+ */
+void sortDiags(std::vector<MtvDiag> &diags);
 
 /** Number of entries at Error severity. */
 int countErrors(const std::vector<MtvDiag> &diags);

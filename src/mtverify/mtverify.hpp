@@ -21,6 +21,10 @@
  *  3. Deadlock freedom — the per-block wait-for graph over
  *     communication events has no cycle unbroken by queue capacity
  *     (deadlock.hpp).
+ *  4. Race freedom — every pair of conflicting memory operations in
+ *     different threads is ordered by a produce->consume sync chain
+ *     on every path, proven by the happens-before engine (hb.hpp)
+ *     over the emitted code; skippable via check_hb.
  *
  * The plan and queue assignment serve as the *witness*: emission is
  * checked faithful to the plan, and the plan is checked to cover the
@@ -53,12 +57,20 @@ struct MtVerifyInput
     const CommPlan *plan = nullptr;
     const std::vector<int> *queue_of = nullptr;
     const MtProgram *prog = nullptr;
+
+    /** Run the happens-before race check (theorem 4). On by default;
+     *  gmt-lint --no-hb and PipelineOptions::verify_hb gate it. */
+    bool check_hb = true;
 };
 
 /** Verification outcome: the deduplicated findings. */
 struct MtVerifyResult
 {
     std::vector<MtvDiag> diags;
+
+    /** Conflicting cross-thread memory pairs the happens-before
+     *  engine proved ordered (0 when check_hb was off). */
+    int hb_pairs = 0;
 
     int errors() const { return countErrors(diags); }
 

@@ -26,6 +26,16 @@ Pdg::addArc(PdgArc arc)
     to_[arc.dst].push_back(id);
 }
 
+std::vector<const PdgArc *>
+Pdg::memArcs() const
+{
+    std::vector<const PdgArc *> mem;
+    for (const PdgArc &arc : arcs_)
+        if (arc.kind == DepKind::Memory)
+            mem.push_back(&arc);
+    return mem;
+}
+
 Digraph
 Pdg::asDigraph() const
 {

@@ -56,6 +56,10 @@ class Pdg
     /** Add an arc (deduplicated on (src, dst, kind, reg)). */
     void addArc(PdgArc arc);
 
+    /** The memory arcs, in arc order (the happens-before engine and
+     *  COCO's per-pair enumeration both iterate exactly these). */
+    std::vector<const PdgArc *> memArcs() const;
+
     /**
      * View as a plain digraph over InstrIds (for SCC/condensation in
      * the partitioners).

@@ -4,13 +4,17 @@
  *
  * Per seed: generate a random workload cell (workloads/generate.hpp),
  * run the full pipeline over the DSWP/GREMIO x COCO on/off matrix with
- * every oracle armed — static MT verification, MT==ST output
- * equivalence, queue drain, comm-plan validation (all enforced inside
- * runPipeline, which throws on violation) — and additionally require
- * the fast and reference timing engines to agree field-for-field on
- * the PipelineResult. On a violation the failing cell is greedily
- * reduced (same failure signature) and dumped as a minimal `.gmt`
- * repro, replayable with `gmt-lint --ir FILE` or any bench driver via
+ * every oracle armed — static MT verification including the
+ * happens-before race check, MT==ST output equivalence, queue drain,
+ * comm-plan validation — and additionally require the fast and
+ * reference timing engines to agree field-for-field on the
+ * PipelineResult. The MT verifier runs first as a structured oracle:
+ * any error diagnostic (e.g. hb-data-race) becomes the failure
+ * signature, keyed by its stable code, so the reducer shrinks against
+ * the code rather than a free-text message and the repro filename is
+ * tagged with it. On a violation the failing cell is greedily reduced
+ * (same failure signature) and dumped as a minimal `.gmt` repro,
+ * replayable with `gmt-lint --ir FILE` or any bench driver via
  * `--workload-dir`.
  *
  *   gmt-fuzz [--seeds N] [--start S] [--jobs J] [--threads T]
@@ -32,8 +36,10 @@
 #include <string>
 #include <vector>
 
+#include "driver/pass_manager.hpp"
 #include "driver/pipeline.hpp"
 #include "driver/stats.hpp"
+#include "mtverify/mtverify.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -139,8 +145,10 @@ constexpr CellConfig kMatrix[] = {
 struct Signature
 {
     std::string cell;
-    std::string kind;   ///< "fatal", "panic", "engine-divergence"
-    std::string prefix; ///< leading message text, digits stripped
+    std::string kind;   ///< "mtverify", "fatal", "panic",
+                        ///< "engine-divergence"
+    std::string prefix; ///< diag code for "mtverify"; otherwise the
+                        ///< leading message text, digits stripped
 
     bool
     operator==(const Signature &o) const
@@ -185,6 +193,38 @@ runCell(const Workload &w, const CellConfig &cfg,
 {
     sig->cell = cfg.label();
     try {
+        // Structured verification oracle first: run codegen alone and
+        // the full MT verifier (happens-before included) over it, so a
+        // finding carries its stable diagnostic code instead of the
+        // pipeline's free-text fatal. Codegen artifacts are cached, so
+        // the runPipeline calls below do not repeat the work.
+        {
+            PipelineOptions po =
+                cellOptions(cfg, fuzz, SimEngine::Fast);
+            po.verify_mt = false; // verified right here instead
+            PipelineContext ctx(w, po);
+            PassManager::codegenPipeline().run(ctx);
+            MtVerifyInput in;
+            in.orig = &ctx.ir->func;
+            in.pdg = &ctx.pdg->pdg;
+            in.partition = &ctx.partition->partition;
+            in.plan = &ctx.plan->plan;
+            in.queue_of = &ctx.prog->queue_of;
+            in.prog = &ctx.prog->prog;
+            MtVerifyResult res = verifyMtProgram(in);
+            if (!res.ok()) {
+                // Diags come back sorted; the first error's code is a
+                // deterministic signature.
+                for (const MtvDiag &d : res.diags) {
+                    if (d.severity != MtvSeverity::Error)
+                        continue;
+                    sig->kind = "mtverify";
+                    sig->prefix = std::string(mtvCodeName(d.code));
+                    return true;
+                }
+            }
+        }
+
         PipelineResult fast =
             runPipeline(w, cellOptions(cfg, fuzz, SimEngine::Fast));
         PipelineResult ref = runPipeline(
@@ -281,7 +321,10 @@ main(int argc, char **argv)
                     out.repro_path =
                         opts.repro_dir + "/" + w.name + "-" +
                         std::string(schedulerName(cfg.sched)) +
-                        (cfg.coco ? "-coco" : "") + ".gmt";
+                        (cfg.coco ? "-coco" : "") +
+                        (sig.kind == "mtverify" ? "-" + sig.prefix
+                                                : "") +
+                        ".gmt";
                     saveWorkloadFile(repro, out.repro_path);
                 } catch (const std::exception &e) {
                     std::fprintf(stderr,

@@ -14,7 +14,13 @@
  *   gmt-lint [--only W1,W2,...] [--ir FILE.gmt ...]
  *            [--scheduler dswp|gremio|both]
  *            [--coco on|off|both] [--threads N] [--max-queues N]
- *            [--static-profile] [--werror] [--json FILE] [--quiet]
+ *            [--static-profile] [--hb|--no-hb] [--werror]
+ *            [--json FILE] [--quiet]
+ *
+ * Findings are collected across the whole matrix, sorted (code, then
+ * cell, then block/pos/instr/queue/thread/message) and deduplicated
+ * before rendering, so the text and --json outputs are byte-stable
+ * regardless of cell evaluation order.
  *
  * `--ir FILE.gmt` (repeatable) lints serialized cells instead of the
  * built-in workloads: each file is parsed, IR-verified (a malformed
@@ -22,10 +28,12 @@
  * MT-verification matrix. This is the replay path for gmt-fuzz repros.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "driver/pass_manager.hpp"
@@ -50,6 +58,7 @@ struct LintOptions
     int num_threads = 2;
     int max_queues = 0;
     bool static_profile = false;
+    bool hb = true;
     bool werror = false;
     std::string json_path;
     bool quiet = false;
@@ -63,7 +72,8 @@ usage(const char *argv0, int exit_code)
         "usage: %s [--only W1,W2,...] [--ir FILE.gmt ...] "
         "[--scheduler dswp|gremio|both] "
         "[--coco on|off|both] [--threads N] [--max-queues N] "
-        "[--static-profile] [--werror] [--json FILE] [--quiet]\n",
+        "[--static-profile] [--hb|--no-hb] [--werror] "
+        "[--json FILE] [--quiet]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -128,6 +138,10 @@ parseArgs(int argc, char **argv)
             opts.max_queues = std::atoi(value().c_str());
         } else if (arg == "--static-profile") {
             opts.static_profile = true;
+        } else if (arg == "--hb") {
+            opts.hb = true;
+        } else if (arg == "--no-hb") {
+            opts.hb = false;
         } else if (arg == "--werror") {
             opts.werror = true;
         } else if (arg == "--json") {
@@ -182,6 +196,8 @@ main(int argc, char **argv)
 
     int cells = 0, total_errors = 0, total_warnings = 0;
     int broken_cells = 0;
+    int64_t hb_pairs = 0;
+    std::vector<std::pair<std::string, MtvDiag>> findings;
 
     std::vector<Workload> workloads;
     if (opts.ir_files.empty()) {
@@ -253,19 +269,40 @@ main(int argc, char **argv)
                 in.plan = &ctx.plan->plan;
                 in.queue_of = &ctx.prog->queue_of;
                 in.prog = &ctx.prog->prog;
+                in.check_hb = opts.hb;
                 MtVerifyResult res = verifyMtProgram(in);
 
                 total_errors += res.errors();
                 total_warnings += res.warnings();
-                for (const MtvDiag &d : res.diags) {
-                    std::fprintf(stderr, "%s: %s\n",
-                                 ctx.cellId().c_str(),
-                                 renderDiag(d).c_str());
-                    if (sink)
-                        emitDiagRecord(*sink, ctx.cellId(), d);
-                }
+                hb_pairs += res.hb_pairs;
+                for (MtvDiag &d : res.diags)
+                    findings.emplace_back(ctx.cellId(), std::move(d));
             }
         }
+    }
+
+    // Deterministic report: order by code, then cell, then
+    // coordinates, then drop exact repeats — byte-stable output no
+    // matter how the matrix was traversed.
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const auto &a, const auto &b) {
+                         const MtvDiag &x = a.second, &y = b.second;
+                         return std::tie(x.code, a.first, x.block,
+                                         x.pos, x.instr, x.queue,
+                                         x.thread, x.severity,
+                                         x.message) <
+                                std::tie(y.code, b.first, y.block,
+                                         y.pos, y.instr, y.queue,
+                                         y.thread, y.severity,
+                                         y.message);
+                     });
+    findings.erase(std::unique(findings.begin(), findings.end()),
+                   findings.end());
+    for (const auto &[cell, d] : findings) {
+        std::fprintf(stderr, "%s: %s\n", cell.c_str(),
+                     renderDiag(d).c_str());
+        if (sink)
+            emitDiagRecord(*sink, cell, d);
     }
 
     if (sink) {
@@ -274,7 +311,8 @@ main(int argc, char **argv)
             .num("cells", static_cast<int64_t>(cells))
             .num("errors", static_cast<int64_t>(total_errors))
             .num("warnings", static_cast<int64_t>(total_warnings))
-            .num("broken_cells", static_cast<int64_t>(broken_cells));
+            .num("broken_cells", static_cast<int64_t>(broken_cells))
+            .num("hb_pairs", hb_pairs);
         sink->write(summary);
     }
     if (!opts.quiet)
