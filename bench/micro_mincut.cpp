@@ -1,160 +1,421 @@
 /**
  * @file
- * Microbenchmark (google-benchmark): compile-time cost of the min-cut
- * machinery. The paper uses Edmonds-Karp (O(n m^2), ~O(n^3) on CFGs)
- * and notes that faster algorithms (preflow-push) exist if
- * compilation time matters; this compares Edmonds-Karp, Dinic, and
- * FIFO push-relabel on CFG-shaped flow graphs, and measures the
- * whole COCO optimization per benchmark kernel — plus the full pass
- * pipeline with a cold vs warm ArtifactCache (the cached experiment
- * runner's per-cell cost).
+ * Microbenchmark + correctness gate for the min-cut machinery. The
+ * paper uses Edmonds-Karp (O(n m^2), ~O(n^3) on CFGs) and notes that
+ * faster algorithms (preflow-push) exist if compilation time matters.
+ * Instead of synthetic networks, this harness:
+ *
+ *  1. captures the cut problems COCO actually solves over the fig7
+ *     cell matrix (every workload x {GREMIO, DSWP}) via the
+ *     CocoExec::capture sink — real CFG-shaped networks with real
+ *     profile-weight capacities;
+ *  2. sweeps all four flow algorithms (Edmonds-Karp, Dinic,
+ *     DinicPruned, highest-label PushRelabel) cold over every
+ *     captured problem, asserting each reports exactly the reference
+ *     Edmonds-Karp flow value and min cut (source-side and sink-side
+ *     min cuts are unique across max flows);
+ *  3. replays warm-start chains — consecutive captures of the same
+ *     (pair, reg) problem whose capacities drifted, plus synthetic
+ *     retune sequences stressing MaxFlow::resolve's decrease-repair
+ *     path — asserting every warm resolve is byte-identical to a
+ *     from-scratch solve of the same capacitated network, and timing
+ *     warm against cold;
+ *  4. writes the numbers to BENCH_mincut.json; exit status is the
+ *     identity gate (CI greps for "identical":true).
+ *
+ * Usage: micro_mincut [--reps N] [--out FILE]
+ *        (defaults: 3 reps, ./BENCH_mincut.json)
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
 
-#include "analysis/control_dep.hpp"
-#include "analysis/dominators.hpp"
-#include "analysis/edge_profile.hpp"
 #include "coco/coco.hpp"
 #include "driver/pass_manager.hpp"
+#include "driver/stats.hpp"
 #include "graph/max_flow.hpp"
-#include "ir/edge_split.hpp"
-#include "partition/gremio.hpp"
-#include "pdg/pdg_builder.hpp"
-#include "runtime/interpreter.hpp"
+#include "graph/multi_cut.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 #include "workloads/workload.hpp"
+
+using namespace gmt;
 
 namespace
 {
 
-using namespace gmt;
+using Clock = std::chrono::steady_clock;
 
-/** CFG-shaped network: a long chain with skip arcs and hammocks. */
-FlowNetwork
-makeCfgShapedNetwork(int n, uint64_t seed)
+double
+msSince(Clock::time_point t0)
 {
-    Rng rng(seed);
-    FlowNetwork net(n + 2);
-    for (int i = 0; i + 1 < n; ++i) {
-        net.addArc(i, i + 1, 1 + rng.nextBelow(100));
-        if (rng.nextBool(0.3)) {
-            int skip = i + 2 + static_cast<int>(rng.nextBelow(5));
-            if (skip < n)
-                net.addArc(i, skip, 1 + rng.nextBelow(100));
-        }
-        if (rng.nextBool(0.15) && i > 4) {
-            // back arc (loop)
-            net.addArc(i, i - 1 - static_cast<int>(rng.nextBelow(4)),
-                       1 + rng.nextBelow(100));
-        }
-    }
-    net.addArc(n, 0, kInfCapacity);     // S -> first def
-    net.addArc(n - 1, n + 1, kInfCapacity); // last use -> T
-    return net;
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
 }
 
-void
-BM_MaxFlow(benchmark::State &state, FlowAlgorithm algo)
+const char *
+algoName(FlowAlgorithm a)
 {
-    int n = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        state.PauseTiming();
-        FlowNetwork net = makeCfgShapedNetwork(n, 42);
-        state.ResumeTiming();
-        MaxFlow mf(net, algo);
-        benchmark::DoNotOptimize(mf.solve(n, n + 1));
-        benchmark::DoNotOptimize(mf.minCutArcs());
+    switch (a) {
+      case FlowAlgorithm::EdmondsKarp:
+        return "ek";
+      case FlowAlgorithm::Dinic:
+        return "dinic";
+      case FlowAlgorithm::DinicPruned:
+        return "dinic_pruned";
+      case FlowAlgorithm::PushRelabel:
+        return "push_relabel";
     }
-    state.SetComplexityN(n);
+    return "?";
 }
 
-void
-BM_CocoOptimize(benchmark::State &state)
-{
-    auto all = allWorkloads();
-    const Workload &w = all[state.range(0)];
-    Function f = w.func;
-    splitCriticalEdges(f);
-    MemoryImage mem;
-    mem.alloc(w.mem_cells);
-    if (w.fill)
-        w.fill(mem, false);
-    auto run = interpret(f, w.train_args, mem);
-    auto profile = EdgeProfile::fromRun(f, run.profile);
-    Pdg pdg = buildPdg(f);
-    auto pdom = DominatorTree::postDominators(f);
-    ControlDependence cd(f, pdom);
-    auto partition = gremioPartition(pdg, profile, {.num_threads = 2});
-    for (auto _ : state) {
-        auto result = cocoOptimize(f, pdg, partition, cd, profile);
-        benchmark::DoNotOptimize(result);
-    }
-    state.SetLabel(w.name);
-}
+constexpr FlowAlgorithm kAlgos[] = {
+    FlowAlgorithm::EdmondsKarp, FlowAlgorithm::Dinic,
+    FlowAlgorithm::DinicPruned, FlowAlgorithm::PushRelabel};
 
-/** Full standard pipeline, no artifact reuse (the seed behaviour). */
-void
-BM_PipelineUncached(benchmark::State &state)
+/** Flow value + cut of one solved problem, the identity payload. */
+struct Solution
 {
-    auto all = allWorkloads();
-    const Workload &w = all[state.range(0)];
-    PipelineOptions opts;
-    opts.scheduler = Scheduler::Gremio;
-    opts.use_coco = true;
-    opts.simulate = false;
-    const PassManager pipeline = PassManager::standardPipeline();
-    for (auto _ : state) {
-        PipelineContext ctx(w, opts);
-        pipeline.run(ctx);
-        benchmark::DoNotOptimize(ctx.result);
-    }
-    state.SetLabel(w.name);
-}
+    bool finite = true;
+    Capacity value = 0;
+    std::vector<int> cut;
 
-/** Same cell against a warm ArtifactCache (steady-state rerun cost). */
-void
-BM_PipelineCached(benchmark::State &state)
-{
-    auto all = allWorkloads();
-    const Workload &w = all[state.range(0)];
-    PipelineOptions opts;
-    opts.scheduler = Scheduler::Gremio;
-    opts.use_coco = true;
-    opts.simulate = false;
-    const PassManager pipeline = PassManager::standardPipeline();
-    ArtifactCache cache;
+    bool
+    operator==(const Solution &o) const
     {
-        PipelineContext warm(w, opts);
-        warm.cache = &cache;
-        pipeline.run(warm);
+        return finite == o.finite && value == o.value && cut == o.cut;
     }
-    for (auto _ : state) {
-        PipelineContext ctx(w, opts);
-        ctx.cache = &cache;
-        pipeline.run(ctx);
-        benchmark::DoNotOptimize(ctx.result);
+};
+
+/** Solve one captured problem from scratch on @p work (rewound
+ *  in-place, so repeated calls are allocation-free). */
+Solution
+solveCold(FlowNetwork &work, const CutProblemCapture::Entry &e,
+          FlowAlgorithm algo, MaxFlow &mf)
+{
+    work.clearRemoved();
+    work.restoreResiduals();
+    Solution sol;
+    if (e.is_mem) {
+        MultiCutResult cut = multiPairMinCut(work, e.pairs, algo,
+                                             CutSide::Sink, &mf);
+        sol.finite = cut.finite;
+        sol.value = cut.cost;
+        sol.cut = std::move(cut.arcs);
+    } else {
+        mf.setAlgorithm(algo);
+        mf.attach(work);
+        sol.value = mf.solve(e.source, e.sink);
+        sol.finite = mf.finite();
+        sol.cut = mf.minCutArcs(CutSide::Source);
     }
-    state.SetLabel(w.name);
+    return sol;
+}
+
+/** A warm-start chain: a base register network plus a sequence of
+ *  capacity-delta steps (natural drift between consecutive captures
+ *  of one problem, or synthetic retunes). */
+struct Chain
+{
+    FlowNetwork base{0};
+    int source = -1, sink = -1;
+    std::vector<std::vector<ArcDelta>> steps;
+};
+
+/** Replay one chain warm: cold head solve, then one resolve() per
+ *  step. Appends each step's solution (head excluded) to @p out. */
+void
+replayWarm(const Chain &c, FlowNetwork &state, FlowAlgorithm algo,
+           MaxFlow &mf, std::vector<Solution> *out)
+{
+    state = c.base;
+    mf.setAlgorithm(algo);
+    mf.attach(state);
+    mf.solve(c.source, c.sink);
+    for (const auto &deltas : c.steps) {
+        Capacity value = mf.resolve(deltas);
+        if (out) {
+            Solution sol;
+            sol.value = value;
+            sol.finite = mf.finite();
+            sol.cut = mf.minCutArcs(CutSide::Source);
+            out->push_back(std::move(sol));
+        }
+    }
+}
+
+/** Replay one chain cold: every step's network solved from zero. */
+void
+replayCold(const Chain &c, FlowNetwork &state, FlowAlgorithm algo,
+           MaxFlow &mf, std::vector<Solution> *out)
+{
+    state = c.base;
+    mf.setAlgorithm(algo);
+    mf.attach(state);
+    mf.solve(c.source, c.sink);
+    for (const auto &deltas : c.steps) {
+        for (const ArcDelta &d : deltas)
+            state.setArcCapacity(d.arc, d.remove ? 0 : d.cap);
+        state.restoreResiduals();
+        Capacity value = mf.solve(c.source, c.sink);
+        if (out) {
+            Solution sol;
+            sol.value = value;
+            sol.finite = mf.finite();
+            sol.cut = mf.minCutArcs(CutSide::Source);
+            out->push_back(std::move(sol));
+        }
+    }
+}
+
+/** Deltas turning @p from's capacities into @p to's (same topology). */
+std::vector<ArcDelta>
+diffCapacities(const FlowNetwork &from, const FlowNetwork &to)
+{
+    std::vector<ArcDelta> deltas;
+    for (int a = 0; a < from.numArcs(); ++a) {
+        if (from.arcCapacity(a) != to.arcCapacity(a))
+            deltas.push_back({a, to.arcCapacity(a), false});
+    }
+    return deltas;
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(BM_MaxFlow, EdmondsKarp, gmt::FlowAlgorithm::EdmondsKarp)
-    ->RangeMultiplier(4)
-    ->Range(64, 4096)
-    ->Complexity();
-BENCHMARK_CAPTURE(BM_MaxFlow, Dinic, gmt::FlowAlgorithm::Dinic)
-    ->RangeMultiplier(4)
-    ->Range(64, 4096)
-    ->Complexity();
-BENCHMARK_CAPTURE(BM_MaxFlow, PushRelabel,
-                  gmt::FlowAlgorithm::PushRelabel)
-    ->RangeMultiplier(4)
-    ->Range(64, 4096)
-    ->Complexity();
-BENCHMARK(BM_CocoOptimize)->DenseRange(0, 10);
-BENCHMARK(BM_PipelineUncached)->DenseRange(0, 10);
-BENCHMARK(BM_PipelineCached)->DenseRange(0, 10);
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_mincut.json";
+    int reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--reps N] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (reps < 1)
+        reps = 1;
 
-BENCHMARK_MAIN();
+    // ---- 1. Capture the real problem trace (not measured). ----
+    MetricsRegistry &m = MetricsRegistry::global();
+    uint64_t warm0 = m.counter("coco.warm_starts").value();
+    uint64_t cold0 = m.counter("coco.cold_rebuilds").value();
+    CutProblemCapture capture;
+    for (const Workload &w : allWorkloads()) {
+        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
+            PipelineOptions po;
+            po.scheduler = sched;
+            po.use_coco = true;
+            PipelineContext ctx(w, po);
+            PassManager::codegenPipeline().run(ctx);
+            CocoExec exec{nullptr, 1, nullptr, &capture};
+            cocoOptimize(ctx.pdg->ir->func, ctx.pdg->pdg,
+                         ctx.partition->partition, ctx.pdg->cd,
+                         ctx.profile->profile, CocoOptions{}, exec);
+        }
+    }
+    uint64_t coco_warm = m.counter("coco.warm_starts").value() - warm0;
+    uint64_t coco_cold =
+        m.counter("coco.cold_rebuilds").value() - cold0;
+    const auto &entries = capture.entries;
+    int reg_entries = 0, mem_entries = 0;
+    for (const auto &e : entries)
+        (e.is_mem ? mem_entries : reg_entries) += 1;
+    if (entries.empty()) {
+        std::fprintf(stderr, "micro_mincut: captured no problems\n");
+        return 2;
+    }
+
+    // ---- 2. Cold sweep: all four algorithms over every problem. ----
+    bool identical = true;
+    auto mismatch = [&](const char *what, size_t idx) {
+        identical = false;
+        std::fprintf(stderr,
+                     "micro_mincut: %s mismatch at problem %zu\n",
+                     what, idx);
+    };
+
+    // Reference pass (Edmonds-Karp) + per-entry reusable copies.
+    std::vector<FlowNetwork> work(entries.size(), FlowNetwork(0));
+    std::vector<Solution> ref(entries.size());
+    MaxFlow mf;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        work[i] = entries[i].net;
+        ref[i] = solveCold(work[i], entries[i],
+                           FlowAlgorithm::EdmondsKarp, mf);
+    }
+
+    std::map<std::string, double> cold_ms;
+    for (FlowAlgorithm algo : kAlgos) {
+        // Verification pass (untimed): identity against the reference.
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (!(solveCold(work[i], entries[i], algo, mf) == ref[i]))
+                mismatch(algoName(algo), i);
+        }
+        // Timed passes: solve only, best of --reps.
+        double best = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            auto t0 = Clock::now();
+            for (size_t i = 0; i < entries.size(); ++i)
+                solveCold(work[i], entries[i], algo, mf);
+            double ms = msSince(t0);
+            best = r == 0 ? ms : std::min(best, ms);
+        }
+        cold_ms[algoName(algo)] = best;
+    }
+
+    // ---- 3. Warm-start chains. ----
+    // Natural chains: consecutive captures of the same register
+    // problem with identical topology and drifted capacities.
+    std::vector<Chain> chains;
+    std::map<std::tuple<int, int, Reg>, size_t> last_of;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        if (e.is_mem)
+            continue;
+        auto key = std::make_tuple(e.ts, e.tt, e.r);
+        auto it = last_of.find(key);
+        if (it != last_of.end()) {
+            const auto &prev = entries[it->second];
+            if (prev.net.numNodes() == e.net.numNodes() &&
+                prev.net.numArcs() == e.net.numArcs()) {
+                Chain c;
+                c.base = prev.net;
+                c.source = e.source;
+                c.sink = e.sink;
+                c.steps.push_back(diffCapacities(prev.net, e.net));
+                chains.push_back(std::move(c));
+            }
+        }
+        last_of[key] = i;
+    }
+    size_t natural_chains = chains.size();
+
+    // Synthetic chains: retune sequences over captured register
+    // networks, stressing resolve()'s decrease-repair path (capacity
+    // drops below carried flow force reroute + decomposition).
+    {
+        int made = 0;
+        for (size_t i = 0; i < entries.size() && made < 24; ++i) {
+            const auto &e = entries[i];
+            if (e.is_mem || e.net.numArcs() < 8)
+                continue;
+            Rng rng(0x9e3779b9u + static_cast<uint64_t>(i));
+            Chain c;
+            c.base = e.net;
+            c.source = e.source;
+            c.sink = e.sink;
+            FlowNetwork cur = e.net;
+            for (int step = 0; step < 6; ++step) {
+                std::vector<ArcDelta> deltas;
+                int n_retunes =
+                    1 + static_cast<int>(rng.nextBelow(
+                            static_cast<uint64_t>(cur.numArcs() / 8 +
+                                                  1)));
+                for (int k = 0; k < n_retunes; ++k) {
+                    int a = static_cast<int>(rng.nextBelow(
+                        static_cast<uint64_t>(cur.numArcs())));
+                    Capacity old = cur.arcCapacity(a);
+                    if (old <= 0 || old >= kInfCapacity)
+                        continue; // keep pinned/special arcs pinned
+                    Capacity cap =
+                        rng.nextBool(0.5)
+                            ? static_cast<Capacity>(rng.nextBelow(
+                                  static_cast<uint64_t>(old)))
+                            : old + 1 +
+                                  static_cast<Capacity>(
+                                      rng.nextBelow(200));
+                    cur.setArcCapacity(a, cap);
+                    deltas.push_back({a, cap, false});
+                }
+                if (!deltas.empty())
+                    c.steps.push_back(std::move(deltas));
+            }
+            if (!c.steps.empty()) {
+                chains.push_back(std::move(c));
+                ++made;
+            }
+        }
+    }
+    size_t chain_steps = 0;
+    for (const auto &c : chains)
+        chain_steps += c.steps.size();
+
+    std::map<std::string, double> warm_ms, chain_cold_ms;
+    FlowNetwork state(0);
+    for (FlowAlgorithm algo : kAlgos) {
+        // Verification pass: every warm step byte-equal to the cold
+        // reference solve of the same capacitated network.
+        for (size_t ci = 0; ci < chains.size(); ++ci) {
+            std::vector<Solution> warm_sols, cold_sols;
+            replayWarm(chains[ci], state, algo, mf, &warm_sols);
+            replayCold(chains[ci], state, FlowAlgorithm::EdmondsKarp,
+                       mf, &cold_sols);
+            if (!(warm_sols == cold_sols))
+                mismatch("warm-chain", ci);
+        }
+        double best_warm = 0.0, best_cold = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            auto t0 = Clock::now();
+            for (const Chain &c : chains)
+                replayWarm(c, state, algo, mf, nullptr);
+            double wm = msSince(t0);
+            t0 = Clock::now();
+            for (const Chain &c : chains)
+                replayCold(c, state, algo, mf, nullptr);
+            double cm = msSince(t0);
+            best_warm = r == 0 ? wm : std::min(best_warm, wm);
+            best_cold = r == 0 ? cm : std::min(best_cold, cm);
+        }
+        warm_ms[algoName(algo)] = best_warm;
+        chain_cold_ms[algoName(algo)] = best_cold;
+    }
+
+    double warm_speedup =
+        warm_ms["ek"] > 0.0 ? chain_cold_ms["ek"] / warm_ms["ek"] : 0.0;
+
+    JsonObject o;
+    o.str("bench", "mincut");
+    o.boolean("identical", identical);
+    o.num("problems", static_cast<int64_t>(entries.size()));
+    o.num("reg_problems", static_cast<int64_t>(reg_entries));
+    o.num("mem_problems", static_cast<int64_t>(mem_entries));
+    o.num("coco_warm_starts", coco_warm);
+    o.num("coco_cold_rebuilds", coco_cold);
+    o.num("chains", static_cast<int64_t>(chains.size()));
+    o.num("natural_chains", static_cast<int64_t>(natural_chains));
+    o.num("chain_steps", static_cast<int64_t>(chain_steps));
+    for (FlowAlgorithm algo : kAlgos)
+        o.num(std::string("cold_ms_") + algoName(algo),
+              cold_ms[algoName(algo)]);
+    for (FlowAlgorithm algo : kAlgos) {
+        o.num(std::string("warm_chain_ms_") + algoName(algo),
+              warm_ms[algoName(algo)]);
+        o.num(std::string("cold_chain_ms_") + algoName(algo),
+              chain_cold_ms[algoName(algo)]);
+    }
+    o.num("warm_speedup_vs_cold_ek", warm_speedup);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "micro_mincut: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    out << o.render() << "\n";
+    std::cout << o.render() << "\n";
+    return identical ? 0 : 1;
+}

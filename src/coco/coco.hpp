@@ -11,6 +11,10 @@
  * converges (guaranteed: relevant sets only grow).
  */
 
+#include <mutex>
+#include <utility>
+#include <vector>
+
 #include "analysis/edge_profile.hpp"
 #include "graph/max_flow.hpp"
 #include "mtcg/comm_plan.hpp"
@@ -44,8 +48,53 @@ struct CocoOptions
      */
     bool multi_pair_memory = true;
 
+    /**
+     * Warm-start repeated cut problems: each worker arena retains the
+     * last-built flow graph per (pair class, thread pair) and, when
+     * the topology is provably unchanged (same liveness snapshot
+     * version for register graphs; memory graph topology is fixed by
+     * the function), refreshes only the arc costs that moved and
+     * re-solves incrementally from the retained residual
+     * (MaxFlow::resolve) instead of rebuilding and solving from zero.
+     * Plans are byte-identical either way — source/sink-side min cuts
+     * are unique across max flows, and debug builds cross-check every
+     * warm solve against a cold Edmonds-Karp run. Ablation switch
+     * only.
+     */
+    bool warm_start = true;
+
     /** Safety valve for the repeat-until loop. */
     int max_iterations = 16;
+};
+
+/**
+ * Optional capture sink for the cut problems COCO actually solves:
+ * each solved problem's network (pristine residuals, post-refresh
+ * capacities), terminals, and identity are appended. Consumed by
+ * bench/micro_mincut to sweep solver algorithms and warm-start chains
+ * over real problem traces rather than synthetic networks. Capture
+ * from a serial run (jobs <= 1) for a deterministic entry order.
+ */
+struct CutProblemCapture
+{
+    struct Entry
+    {
+        bool is_mem = false;
+        int ts = 0, tt = 0;
+        Reg r = kNoReg;
+
+        /** The network as solved, rewound to pristine residuals. */
+        FlowNetwork net{0};
+
+        /** Register problems: terminals. */
+        int source = -1, sink = -1;
+
+        /** Memory problems: per-dependence terminal pairs. */
+        std::vector<std::pair<int, int>> pairs;
+    };
+
+    std::mutex mu;
+    std::vector<Entry> entries;
 };
 
 /**
@@ -65,6 +114,9 @@ struct CocoExec
 
     /** Optional Chrome-trace collector for per-solve spans. */
     TraceCollector *trace = nullptr;
+
+    /** Optional cut-problem capture sink (bench/micro_mincut). */
+    CutProblemCapture *capture = nullptr;
 };
 
 /** Result of the optimizer. */

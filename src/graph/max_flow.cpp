@@ -31,6 +31,7 @@ FlowNetwork::reset(int num_nodes)
     arcs_.clear();
     tails_.clear();
     original_cap_.clear();
+    removed_.clear();
 }
 
 int
@@ -54,6 +55,7 @@ FlowNetwork::addArc(int u, int v, Capacity cap)
     tails_.push_back(u);
     tails_.push_back(v);
     original_cap_.push_back(cap);
+    removed_.push_back(0);
     first_out_[u].push_back(fwd);
     first_out_[v].push_back(fwd + 1);
     return fwd / 2;
@@ -63,12 +65,37 @@ void
 FlowNetwork::removeArc(int arc)
 {
     GMT_ASSERT(arc >= 0 && arc < numArcs());
-    // -1 marks deletion; minCutArcs() must still report arcs whose
-    // original capacity is zero (a zero profile weight does not make
-    // a program point impossible, only free to cut).
-    original_cap_[arc] = -1;
+    // The original capacity survives removal so restoreResiduals()
+    // after clearRemoved() can rewind the network to its built state;
+    // minCutArcs() must still report arcs whose original capacity is
+    // zero (a zero profile weight does not make a program point
+    // impossible, only free to cut), so removal is a separate flag.
+    removed_[arc] = 1;
     arcs_[2 * arc].residual = 0;
     arcs_[2 * arc + 1].residual = 0;
+}
+
+void
+FlowNetwork::clearRemoved()
+{
+    std::fill(removed_.begin(), removed_.end(), 0);
+}
+
+void
+FlowNetwork::setArcCapacity(int arc, Capacity cap)
+{
+    GMT_ASSERT(arc >= 0 && arc < numArcs());
+    GMT_ASSERT(cap >= 0);
+    original_cap_[arc] = cap;
+}
+
+void
+FlowNetwork::restoreResiduals()
+{
+    for (int a = 0; a < numArcs(); ++a) {
+        arcs_[2 * a].residual = removed_[a] ? 0 : original_cap_[a];
+        arcs_[2 * a + 1].residual = 0;
+    }
 }
 
 MaxFlow::MaxFlow(FlowNetwork &net, FlowAlgorithm algo)
@@ -88,16 +115,37 @@ MaxFlow::attach(FlowNetwork &net)
 }
 
 void
+MaxFlow::attachSolved(FlowNetwork &net, int s, int t, Capacity flow)
+{
+    GMT_ASSERT(s != t);
+    net_ = &net;
+    last_s_ = s;
+    last_t_ = t;
+    last_flow_ = flow;
+}
+
+void
 MaxFlow::reset()
 {
-    for (int a = 0; a < net_->numArcs(); ++a) {
-        // Deleted arcs (capacity -1) stay at zero residual.
-        net_->arcs_[2 * a].residual =
-            std::max<Capacity>(net_->original_cap_[a], 0);
-        net_->arcs_[2 * a + 1].residual = 0;
-    }
+    net_->restoreResiduals();
     last_s_ = -1;
     last_flow_ = 0;
+}
+
+Capacity
+MaxFlow::runAlgorithm(int s, int t)
+{
+    switch (algo_) {
+      case FlowAlgorithm::EdmondsKarp:
+        return solveEdmondsKarp(s, t);
+      case FlowAlgorithm::Dinic:
+        return solveDinic(s, t, /*reverse_levels=*/false);
+      case FlowAlgorithm::DinicPruned:
+        return solveDinic(s, t, /*reverse_levels=*/true);
+      case FlowAlgorithm::PushRelabel:
+        return solvePushRelabel(s, t);
+    }
+    panic("unknown flow algorithm");
 }
 
 Capacity
@@ -107,34 +155,100 @@ MaxFlow::solve(int s, int t)
     GMT_ASSERT(s != t);
     last_s_ = s;
     last_t_ = t;
-    switch (algo_) {
-      case FlowAlgorithm::EdmondsKarp:
-        last_flow_ = solveEdmondsKarp(s, t);
-        break;
-      case FlowAlgorithm::Dinic:
-        last_flow_ = solveDinic(s, t, /*reverse_levels=*/false);
-        break;
-      case FlowAlgorithm::DinicPruned:
-        last_flow_ = solveDinic(s, t, /*reverse_levels=*/true);
-        break;
-      case FlowAlgorithm::PushRelabel:
-        last_flow_ = solvePushRelabel(s, t);
-        break;
+    runAlgorithm(s, t);
+    // Derive the value from the residual state rather than the
+    // algorithm's push count: identical across cold solves, repeated
+    // solves on a dirty residual, and warm resolves.
+    last_flow_ = currentFlowValue(s);
+#if !defined(NDEBUG) || defined(GMT_FLOW_CROSSCHECK)
+    // Differential for every fast path: the source-side (and
+    // sink-side) minimum cut of a network is unique across maximum
+    // flows, so any correct solver must report exactly the reference
+    // algorithm's cut.
+    if (algo_ != FlowAlgorithm::EdmondsKarp)
+        crosscheckAgainstReference("solve");
+#endif
+    return last_flow_;
+}
+
+Capacity
+MaxFlow::resolve(const std::vector<ArcDelta> &deltas)
+{
+    GMT_ASSERT(net_, "resolve() on a detached MaxFlow");
+    GMT_ASSERT(last_s_ >= 0,
+               "resolve() requires a previously solved network");
+    const int s = last_s_;
+    const int t = last_t_;
+    ++stats_.warm_resolves;
+    auto &arcs = net_->arcs_;
+    for (const ArcDelta &d : deltas) {
+        GMT_ASSERT(d.arc >= 0 && d.arc < net_->numArcs());
+        Capacity cap = d.remove ? 0 : d.cap;
+        GMT_ASSERT(cap >= 0);
+        if (d.remove) {
+            net_->removed_[d.arc] = 1;
+        } else {
+            net_->removed_[d.arc] = 0;
+            net_->original_cap_[d.arc] = d.cap;
+        }
+        int fwd = 2 * d.arc;
+        Capacity flow = arcs[fwd + 1].residual;
+        if (cap >= flow) {
+            // Widened (or unchanged): keep the carried flow, grow the
+            // forward residual. The old flow stays feasible and the
+            // re-augmentation below picks up any new headroom.
+            arcs[fwd].residual = cap - flow;
+            continue;
+        }
+        // Shrunk below the carried flow: clamp the arc to its new
+        // capacity. That leaves a conservation surplus at the tail
+        // and an equal deficit at the head, repaired by residual
+        // pushes (path pushes only disturb balance at their
+        // endpoints).
+        Capacity surplus = flow - cap;
+        arcs[fwd].residual = 0;
+        arcs[fwd + 1].residual = cap;
+        int u = net_->tails_[fwd];
+        int v = arcs[fwd].to;
+        // Reroute tail -> head through the rest of the residual graph
+        // first. This also cancels flow cycles through the arc (a
+        // cycle's remainder is exactly a residual u -> v path), which
+        // the terminal-bound decomposition walks below cannot reach;
+        // once these paths are saturated, every remaining surplus
+        // unit lies on a terminal-to-terminal flow path.
+        Capacity rerouted = augmentLimited(u, v, surplus);
+        Capacity remainder = surplus - rerouted;
+        if (remainder == 0)
+            continue;
+        // Cancel the remainder by flow decomposition: walk the
+        // surplus back along the flow that fed the tail and the
+        // deficit forward along the flow the head used to feed (both
+        // are residual paths, reverses of flow paths). Terminals are
+        // conservation-exempt, so a terminal endpoint needs no walk;
+        // flow originating at t or terminating at s (legal in
+        // arbitrary networks) is covered by the opposite-terminal
+        // fallback.
+        if (u != s && u != t) {
+            Capacity drained = augmentLimited(u, s, remainder);
+            if (drained < remainder)
+                drained += augmentLimited(u, t, remainder - drained);
+            GMT_ASSERT(drained == remainder,
+                       "incremental repair: surplus drain failed");
+        }
+        if (v != s && v != t) {
+            Capacity filled = augmentLimited(t, v, remainder);
+            if (filled < remainder)
+                filled += augmentLimited(s, v, remainder - filled);
+            GMT_ASSERT(filled == remainder,
+                       "incremental repair: deficit refill failed");
+        }
     }
-#ifndef NDEBUG
-    // Debug-build differential for the fast path: the source-side
-    // minimum cut of a network is unique across maximum flows, so the
-    // pruned solver must report exactly the reference algorithm's cut.
-    if (algo_ == FlowAlgorithm::DinicPruned) {
-        FlowNetwork copy = *net_;
-        MaxFlow ref(copy, FlowAlgorithm::EdmondsKarp);
-        ref.reset();
-        Capacity ref_flow = ref.solve(s, t);
-        GMT_ASSERT(ref_flow == last_flow_,
-                   "DinicPruned flow diverged from Edmonds-Karp");
-        GMT_ASSERT(ref.minCutArcs() == minCutArcs(),
-                   "DinicPruned cut diverged from Edmonds-Karp");
-    }
+    // The repaired flow is feasible; push the rest of the way to max
+    // with the configured algorithm.
+    runAlgorithm(s, t);
+    last_flow_ = currentFlowValue(s);
+#if !defined(NDEBUG) || defined(GMT_FLOW_CROSSCHECK)
+    crosscheckAgainstReference("resolve");
 #endif
     return last_flow_;
 }
@@ -178,6 +292,66 @@ MaxFlow::solveEdmondsKarp(int s, int t)
         }
         total += bottleneck;
         ++stats_.augmenting_paths;
+    }
+    return total;
+}
+
+Capacity
+MaxFlow::augmentLimited(int from, int to, Capacity limit)
+{
+    if (limit <= 0 || from == to)
+        return 0;
+    auto &arcs = net_->arcs_;
+    Capacity pushed = 0;
+    pred_arc_.assign(net_->numNodes(), -1);
+    while (pushed < limit) {
+        std::fill(pred_arc_.begin(), pred_arc_.end(), -1);
+        pred_arc_[from] = -2;
+        std::deque<int> queue{from};
+        while (!queue.empty() && pred_arc_[to] == -1) {
+            int u = queue.front();
+            queue.pop_front();
+            for (int a : net_->first_out_[u]) {
+                int v = arcs[a].to;
+                if (pred_arc_[v] == -1 && arcs[a].residual > 0) {
+                    pred_arc_[v] = a;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if (pred_arc_[to] == -1)
+            break;
+        Capacity bottleneck = limit - pushed;
+        for (int v = to; v != from;) {
+            int a = pred_arc_[v];
+            bottleneck = std::min(bottleneck, arcs[a].residual);
+            v = arcs[a ^ 1].to;
+        }
+        for (int v = to; v != from;) {
+            int a = pred_arc_[v];
+            arcs[a].residual -= bottleneck;
+            arcs[a ^ 1].residual += bottleneck;
+            v = arcs[a ^ 1].to;
+        }
+        pushed += bottleneck;
+        ++stats_.augmenting_paths;
+    }
+    return pushed;
+}
+
+Capacity
+MaxFlow::currentFlowValue(int s) const
+{
+    // Net outflow at s. The backward internal arc of every external
+    // arc started at zero residual, so its residual is exactly the
+    // flow the arc carries: even internal ids leaving s are forward
+    // arcs (flow out of s), odd ids are the reverses of arcs into s.
+    Capacity total = 0;
+    for (int b : net_->first_out_[s]) {
+        if ((b & 1) == 0)
+            total += net_->arcs_[b ^ 1].residual;
+        else
+            total -= net_->arcs_[b].residual;
     }
     return total;
 }
@@ -294,68 +468,200 @@ MaxFlow::solveDinic(int s, int t, bool reverse_levels)
     return total;
 }
 
+void
+MaxFlow::globalRelabel(int s, int t)
+{
+    auto &arcs = net_->arcs_;
+    const int n = net_->numNodes();
+    const int max_h = 2 * n + 1;
+    ++stats_.global_relabels;
+
+    // Exact distance-to-t by reverse BFS over residual arcs (level_
+    // doubles as the distance array).
+    level_.assign(n, -1);
+    level_[t] = 0;
+    std::deque<int> queue{t};
+    while (!queue.empty()) {
+        int x = queue.front();
+        queue.pop_front();
+        for (int b : net_->first_out_[x]) {
+            int y = arcs[b].to;
+            if (level_[y] == -1 && arcs[b ^ 1].residual > 0) {
+                level_[y] = level_[x] + 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    // Nodes cut off from t can only return their excess to s: give
+    // them n + distance-to-s (pred_arc_ doubles as that distance).
+    pred_arc_.assign(n, -1);
+    pred_arc_[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+        int x = queue.front();
+        queue.pop_front();
+        for (int b : net_->first_out_[x]) {
+            int y = arcs[b].to;
+            if (pred_arc_[y] == -1 && arcs[b ^ 1].residual > 0) {
+                pred_arc_[y] = pred_arc_[x] + 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    // Raise-only update: both the current labeling and the computed
+    // one are valid, and the pointwise max of valid labelings is
+    // valid — and never lowering a height preserves push-relabel's
+    // monotonicity (a node that once pushed into s keeps height > n
+    // even if a BFS would now give it a short distance-to-t).
+    for (int x = 0; x < n; ++x) {
+        int h;
+        if (x == s)
+            h = n;
+        else if (level_[x] >= 0)
+            h = level_[x];
+        else if (pred_arc_[x] >= 0)
+            h = n + pred_arc_[x];
+        else
+            h = max_h - 1; // reaches neither terminal: park high
+        if (h > height_[x])
+            height_[x] = h;
+    }
+    if (height_[s] < n)
+        height_[s] = n;
+
+    // Rebuild the gap counts and active buckets for the new heights.
+    height_count_.assign(max_h + 1, 0);
+    for (int x = 0; x < n; ++x)
+        ++height_count_[height_[x]];
+    if (static_cast<int>(bucket_.size()) < max_h + 1)
+        bucket_.resize(max_h + 1);
+    for (auto &b : bucket_)
+        b.clear();
+    for (int x = 0; x < n; ++x) {
+        if (x != s && x != t && excess_[x] > 0)
+            bucket_[height_[x]].push_back(x);
+    }
+}
+
 Capacity
 MaxFlow::solvePushRelabel(int s, int t)
 {
     auto &arcs = net_->arcs_;
     const int n = net_->numNodes();
+    const int max_h = 2 * n + 1;
     excess_.assign(n, 0);
     height_.assign(n, 0);
     iter_.assign(n, 0);
-    std::deque<int> active;
 
-    height_[s] = n;
+    // Convert the entering state (fresh residuals or a warm flow left
+    // by a previous solve) into a preflow: saturate every residual
+    // out-arc of s. Odd internal ids matter too — a warm residual can
+    // carry flow into s, whose reverse arcs also leave s.
     for (int a : net_->first_out_[s]) {
-        if ((a & 1) == 0 && arcs[a].residual > 0) {
-            Capacity d = arcs[a].residual;
-            int v = arcs[a].to;
-            arcs[a].residual = 0;
-            arcs[a ^ 1].residual += d;
-            excess_[v] += d;
-            ++stats_.augmenting_paths;
-            if (v != t && v != s && excess_[v] == d)
-                active.push_back(v);
-        }
+        int v = arcs[a].to;
+        if (v == s || arcs[a].residual <= 0)
+            continue;
+        Capacity d = arcs[a].residual;
+        arcs[a].residual = 0;
+        arcs[a ^ 1].residual += d;
+        excess_[v] += d;
+        ++stats_.augmenting_paths;
     }
 
-    while (!active.empty()) {
-        int u = active.front();
-        active.pop_front();
+    // Exact initial heights (this is why stats().global_relabels >= 1
+    // after every push-relabel solve); also builds buckets + counts.
+    globalRelabel(s, t);
+
+    // Periodic re-relabeling on a work budget: stale heights after
+    // many pushes make the highest-label rule wander.
+    uint64_t work = 0;
+    const uint64_t work_limit =
+        6ull * static_cast<uint64_t>(n) + arcs.size();
+
+    int hi = max_h;
+    while (hi >= 0) {
+        if (work > work_limit) {
+            work = 0;
+            globalRelabel(s, t);
+            hi = max_h;
+            continue;
+        }
+        if (bucket_[hi].empty()) {
+            --hi;
+            continue;
+        }
+        int u = bucket_[hi].back();
+        bucket_[hi].pop_back();
+        // Buckets hold lazy entries; skip the stale ones.
+        if (u == s || u == t || excess_[u] == 0 || height_[u] != hi)
+            continue;
+
+        // Discharge u completely: push along admissible arcs,
+        // relabel when the arc list is exhausted.
         while (excess_[u] > 0) {
             auto &out = net_->first_out_[u];
             if (iter_[u] == static_cast<int>(out.size())) {
-                // Relabel: height = 1 + min over admissible arcs.
-                int min_h = 2 * n;
+                // Relabel: height = 1 + min over residual arcs.
+                work += out.size();
+                int min_h = max_h;
                 for (int a : out) {
                     if (arcs[a].residual > 0)
                         min_h = std::min(min_h, height_[arcs[a].to]);
                 }
-                // An active node always has a residual out-arc (the
-                // reverse of an arc that delivered its excess), and
-                // heights are bounded by 2n-1 in push-relabel.
-                GMT_ASSERT(min_h < 2 * n,
+                GMT_ASSERT(min_h < max_h,
                            "push-relabel height overflow");
+                int old_h = height_[u];
+                --height_count_[old_h];
                 height_[u] = min_h + 1;
+                ++height_count_[height_[u]];
                 iter_[u] = 0;
+                // Gap heuristic: an emptied height below n means no
+                // node above it can reach t any more — lift them all
+                // past n so they route their excess back to s.
+                if (old_h < n && height_count_[old_h] == 0) {
+                    ++stats_.gap_relabels;
+                    for (int x = 0; x < n; ++x) {
+                        if (x == s || x == t || height_[x] <= old_h ||
+                            height_[x] >= n) {
+                            continue;
+                        }
+                        --height_count_[height_[x]];
+                        height_[x] = n + 1;
+                        ++height_count_[n + 1];
+                        iter_[x] = 0;
+                        if (excess_[x] > 0)
+                            bucket_[n + 1].push_back(x);
+                    }
+                    if (hi < n + 1)
+                        hi = n + 1;
+                }
                 continue;
             }
             int a = out[iter_[u]];
             int v = arcs[a].to;
-            if (arcs[a].residual > 0 && height_[u] == height_[v] + 1) {
+            if (arcs[a].residual > 0 &&
+                height_[u] == height_[v] + 1) {
                 Capacity d = std::min(excess_[u], arcs[a].residual);
                 arcs[a].residual -= d;
                 arcs[a ^ 1].residual += d;
                 excess_[u] -= d;
+                ++work;
                 ++stats_.augmenting_paths;
                 bool was_inactive = (excess_[v] == 0);
                 excess_[v] += d;
                 if (was_inactive && v != s && v != t)
-                    active.push_back(v);
+                    bucket_[height_[v]].push_back(v);
             } else {
                 ++iter_[u];
             }
         }
+        // Relabels may have raised u (and so the heights of the nodes
+        // it just activated) above the scan pointer.
+        if (height_[u] > hi)
+            hi = height_[u];
     }
+    // Every non-terminal excess has drained (to t, or back to s via
+    // heights above n), so the residual state is a genuine max flow.
     return excess_[t];
 }
 
@@ -409,7 +715,10 @@ MaxFlow::minCutArcs(CutSide side) const
     // Source side: nodes reachable from s in the residual graph.
     // Sink side: complement of the nodes reaching t — both are valid
     // minimum cuts; they differ only in which of several equal-cost
-    // cuts is reported.
+    // cuts is reported. Each side is unique across all maximum flows
+    // and the residual pass below is run fresh every call, so the
+    // answer cannot depend on how the flow was reached (cold solve,
+    // repeated solve, or warm resolve).
     std::vector<bool> source_side;
     if (side == CutSide::Source) {
         source_side = residualReachable(last_s_);
@@ -419,7 +728,7 @@ MaxFlow::minCutArcs(CutSide side) const
     }
     std::vector<int> cut;
     for (int a = 0; a < net_->numArcs(); ++a) {
-        if (net_->original_cap_[a] < 0)
+        if (net_->removed_[a])
             continue; // deleted by removeArc
         if (source_side[net_->arcTail(a)] &&
             !source_side[net_->arcHead(a)])
@@ -427,5 +736,29 @@ MaxFlow::minCutArcs(CutSide side) const
     }
     return cut;
 }
+
+#if !defined(NDEBUG) || defined(GMT_FLOW_CROSSCHECK)
+void
+MaxFlow::crosscheckAgainstReference(const char *what)
+{
+    // Copy the network, rewind the copy to original capacities, and
+    // solve cold with the reference algorithm: flow value and both
+    // cut sides must agree exactly (cut uniqueness, not heuristics).
+    FlowNetwork copy = *net_;
+    MaxFlow ref(copy, FlowAlgorithm::EdmondsKarp);
+    ref.reset();
+    Capacity ref_flow = ref.solve(last_s_, last_t_);
+    GMT_ASSERT(ref_flow == last_flow_,
+               "flow value diverged from cold Edmonds-Karp in ", what);
+    GMT_ASSERT(ref.minCutArcs(CutSide::Source) ==
+                   minCutArcs(CutSide::Source),
+               "source-side cut diverged from cold Edmonds-Karp in ",
+               what);
+    GMT_ASSERT(ref.minCutArcs(CutSide::Sink) ==
+                   minCutArcs(CutSide::Sink),
+               "sink-side cut diverged from cold Edmonds-Karp in ",
+               what);
+}
+#endif
 
 } // namespace gmt

@@ -40,23 +40,37 @@ struct MultiCutResult
  * @param net the flow network (consumed: arcs get removed).
  * @param pairs source/sink node pairs to disconnect.
  * @param algo single-pair max-flow algorithm to use per step.
+ * @param side which equal-cost cut to take per pair.
+ * @param arena optional solver to reuse (its traversal scratch
+ *        survives across the per-pair solves and across calls); a
+ *        local solver is used when null.
  */
 MultiCutResult multiPairMinCut(FlowNetwork &net,
                                const std::vector<std::pair<int, int>> &pairs,
                                FlowAlgorithm algo =
                                    FlowAlgorithm::EdmondsKarp,
-                               CutSide side = CutSide::Sink);
+                               CutSide side = CutSide::Sink,
+                               MaxFlow *arena = nullptr);
 
 /**
  * Baseline for the ablation bench: connect a super-source to all pair
  * sources and all pair sinks to a super-sink, then take one global
  * single-pair cut. Over-constrains the problem (disconnects every
  * source from every sink) but is a valid placement.
+ *
+ * @param arena optional solver to reuse, as in multiPairMinCut().
+ * @param super_s_out / @param super_t_out optional: receive the
+ *        super-terminal node ids so a caller retaining @p net can
+ *        warm-start the same single-pair problem later via
+ *        MaxFlow::attachSolved() + resolve().
  */
 MultiCutResult superPairMinCut(FlowNetwork &net,
                                const std::vector<std::pair<int, int>> &pairs,
                                FlowAlgorithm algo =
-                                   FlowAlgorithm::EdmondsKarp);
+                                   FlowAlgorithm::EdmondsKarp,
+                               MaxFlow *arena = nullptr,
+                               int *super_s_out = nullptr,
+                               int *super_t_out = nullptr);
 
 } // namespace gmt
 

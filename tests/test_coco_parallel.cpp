@@ -17,6 +17,7 @@
 #include "coco/coco.hpp"
 #include "driver/pass_manager.hpp"
 #include "graph/max_flow.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "workloads/workload.hpp"
@@ -111,6 +112,83 @@ TEST(CocoParallel, PlanIdenticalUnderAblations)
                              ctx.profile->profile, opts,
                              CocoExec{&pool, 8, nullptr});
             expectSamePlan(serial.plan, par.plan, ctx.cellId());
+        }
+    }
+}
+
+// Warm-started cut solving (the default) must produce plans
+// byte-identical to cold from-scratch solving, across the full
+// matrix, serially and in parallel — and it must actually fire (the
+// repeat-until loop re-solves every problem at least twice, so a
+// converging run always has warm opportunities).
+TEST(CocoParallel, WarmStartPlanIdentical)
+{
+    MetricsRegistry &m = MetricsRegistry::global();
+    uint64_t warm0 = m.counter("coco.warm_starts").value();
+    ThreadPool pool(4);
+    for (const Workload &w : allWorkloads()) {
+        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
+            PipelineOptions po;
+            po.scheduler = sched;
+            po.use_coco = true;
+            PipelineContext ctx(w, po);
+            PassManager::codegenPipeline().run(ctx);
+
+            const Function &f = ctx.pdg->ir->func;
+            auto solve = [&](bool warm, const CocoExec &exec) {
+                CocoOptions opts;
+                opts.warm_start = warm;
+                return cocoOptimize(f, ctx.pdg->pdg,
+                                    ctx.partition->partition,
+                                    ctx.pdg->cd,
+                                    ctx.profile->profile, opts, exec);
+            };
+            CocoResult cold = solve(false, CocoExec{});
+            CocoResult warm = solve(true, CocoExec{});
+            expectSamePlan(cold.plan, warm.plan, ctx.cellId());
+            EXPECT_EQ(cold.iterations, warm.iterations)
+                << ctx.cellId();
+            EXPECT_EQ(cold.register_cut_cost, warm.register_cut_cost)
+                << ctx.cellId();
+            EXPECT_EQ(cold.memory_cut_cost, warm.memory_cut_cost)
+                << ctx.cellId();
+            CocoResult warm_par =
+                solve(true, CocoExec{&pool, 4, nullptr});
+            expectSamePlan(cold.plan, warm_par.plan, ctx.cellId());
+        }
+    }
+    EXPECT_GT(m.counter("coco.warm_starts").value(), warm0);
+}
+
+// The super-pair memory ablation exercises the true-resolve warm path
+// for memory graphs (multi-pair rewinds the build instead); both must
+// agree with their cold counterparts.
+TEST(CocoParallel, WarmStartIdenticalUnderAblations)
+{
+    const Workload w = allWorkloads().front();
+    PipelineOptions po;
+    po.scheduler = Scheduler::Dswp;
+    po.use_coco = true;
+    PipelineContext ctx(w, po);
+    PassManager::codegenPipeline().run(ctx);
+    const Function &f = ctx.pdg->ir->func;
+
+    for (bool penalties : {false, true}) {
+        for (bool multi_pair : {false, true}) {
+            CocoOptions opts;
+            opts.control_flow_penalties = penalties;
+            opts.multi_pair_memory = multi_pair;
+            opts.warm_start = false;
+            CocoResult cold =
+                cocoOptimize(f, ctx.pdg->pdg,
+                             ctx.partition->partition, ctx.pdg->cd,
+                             ctx.profile->profile, opts, CocoExec{});
+            opts.warm_start = true;
+            CocoResult warm =
+                cocoOptimize(f, ctx.pdg->pdg,
+                             ctx.partition->partition, ctx.pdg->cd,
+                             ctx.profile->profile, opts, CocoExec{});
+            expectSamePlan(cold.plan, warm.plan, ctx.cellId());
         }
     }
 }

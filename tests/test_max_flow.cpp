@@ -165,6 +165,118 @@ TEST_P(MaxFlowAlgo, PropertyCutMatchesBruteForce)
     }
 }
 
+// Randomized incremental sequences: a long run of arc retunes,
+// removals, and revivals applied through resolve() must track a
+// from-scratch solve of the same capacitated network exactly — flow
+// value, source-side min cut, and sink-side min cut (each unique
+// across all max flows, so "exactly" is well-defined).
+TEST_P(MaxFlowAlgo, RandomIncrementalSequences)
+{
+    Rng rng(0xC0C0 + static_cast<int>(GetParam()));
+    const int n = 8;
+    std::vector<ArcSpec> arcs;
+    for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+            if (u != v && rng.nextBool(0.35)) {
+                // Zero-cap arcs participate too: a later retune
+                // "adds" them (resolve has no topology changes, so
+                // additions are pre-created dormant arcs).
+                arcs.push_back(
+                    {u, v, static_cast<Capacity>(rng.nextBelow(25))});
+            }
+        }
+    }
+    ASSERT_GE(arcs.size(), 8u);
+    const int s = 0, t = n - 1;
+
+    auto net = makeNetwork(n, arcs);
+    MaxFlow warm(net, GetParam());
+    warm.solve(s, t);
+
+    std::vector<Capacity> model_cap;
+    std::vector<bool> model_removed(arcs.size(), false);
+    for (const auto &a : arcs)
+        model_cap.push_back(a.cap);
+
+    for (int step = 0; step < 120; ++step) {
+        std::vector<ArcDelta> deltas;
+        int k = 1 + static_cast<int>(rng.nextBelow(3));
+        for (int i = 0; i < k; ++i) {
+            int a = static_cast<int>(rng.nextBelow(arcs.size()));
+            ArcDelta d;
+            d.arc = a;
+            if (rng.nextBelow(4) == 0) { // remove
+                d.remove = true;
+                model_removed[a] = true;
+            } else { // retune (revives a removed arc)
+                d.cap = static_cast<Capacity>(rng.nextBelow(25));
+                model_removed[a] = false;
+                model_cap[a] = d.cap;
+            }
+            deltas.push_back(d);
+        }
+        Capacity warm_flow = warm.resolve(deltas);
+
+        // From-scratch reference on the same capacitated network.
+        FlowNetwork fresh(n);
+        for (size_t a = 0; a < arcs.size(); ++a)
+            fresh.addArc(arcs[a].u, arcs[a].v, model_cap[a]);
+        for (size_t a = 0; a < arcs.size(); ++a) {
+            if (model_removed[a])
+                fresh.removeArc(static_cast<int>(a));
+        }
+        MaxFlow cold(fresh, FlowAlgorithm::EdmondsKarp);
+        Capacity cold_flow = cold.solve(s, t);
+
+        ASSERT_EQ(warm_flow, cold_flow) << "step " << step;
+        ASSERT_EQ(warm.minCutArcs(CutSide::Source),
+                  cold.minCutArcs(CutSide::Source))
+            << "step " << step;
+        ASSERT_EQ(warm.minCutArcs(CutSide::Sink),
+                  cold.minCutArcs(CutSide::Sink))
+            << "step " << step;
+    }
+}
+
+// The reported cuts must not depend on solve history: a warm solver
+// that wandered through other capacity assignments and came back must
+// report the same cuts as a cold solve of the original network.
+TEST_P(MaxFlowAlgo, CutIndependentOfSolveHistory)
+{
+    const std::vector<ArcSpec> arcs = {{0, 1, 3}, {0, 2, 2}, {1, 3, 2},
+                                       {2, 3, 3}, {1, 2, 5}};
+    auto cold_net = makeNetwork(4, arcs);
+    MaxFlow cold(cold_net, FlowAlgorithm::EdmondsKarp);
+    Capacity cold_flow = cold.solve(0, 3);
+
+    auto warm_net = makeNetwork(4, arcs);
+    MaxFlow warm(warm_net, GetParam());
+    warm.solve(0, 3);
+    // Detour: widen one arc, choke another, then restore both.
+    warm.resolve({{2, 9, false}, {3, 1, false}});
+    Capacity warm_flow = warm.resolve({{2, 2, false}, {3, 3, false}});
+
+    EXPECT_EQ(warm_flow, cold_flow);
+    EXPECT_EQ(warm.minCutArcs(CutSide::Source),
+              cold.minCutArcs(CutSide::Source));
+    EXPECT_EQ(warm.minCutArcs(CutSide::Sink),
+              cold.minCutArcs(CutSide::Sink));
+}
+
+// Push-relabel always takes at least the initial exact-distance
+// global relabeling (its termination argument leans on it).
+TEST(MaxFlowStats, PushRelabelGlobalRelabels)
+{
+    auto net = makeNetwork(4, {{0, 1, 3},
+                               {0, 2, 2},
+                               {1, 3, 2},
+                               {2, 3, 3},
+                               {1, 2, 5}});
+    MaxFlow mf(net, FlowAlgorithm::PushRelabel);
+    EXPECT_EQ(mf.solve(0, 3), 5);
+    EXPECT_GE(mf.stats().global_relabels, 1u);
+}
+
 // All three algorithms must agree on larger random networks (cross
 // validation without brute force).
 TEST(MaxFlowCross, AlgorithmsAgree)
