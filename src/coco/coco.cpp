@@ -197,7 +197,38 @@ struct CachedCut
     bool finite = true;
     Capacity cost = 0;
     PointList points; ///< normalized cut points (may be empty)
+
+    /** Provenance payload: per-point cost over the min-cut arcs
+     *  (deterministic: the cut arc set is unique), solved graph size,
+     *  and whether this solve was warm-started (execution-only). */
+    std::vector<CutPointCost> breakdown;
+    int graph_nodes = 0;
+    int graph_arcs = 0;
+    bool warm = false;
 };
+
+/** Aggregate per-arc (point, capacity) samples into the sorted
+ *  per-point breakdown CachedCut carries. */
+void
+normalizeBreakdown(std::vector<CutPointCost> &b)
+{
+    std::sort(b.begin(), b.end(),
+              [](const CutPointCost &x, const CutPointCost &y) {
+                  return std::tie(x.block, x.pos) <
+                         std::tie(y.block, y.pos);
+              });
+    size_t out = 0;
+    for (size_t i = 0; i < b.size(); ++i) {
+        if (out > 0 && b[out - 1].block == b[i].block &&
+            b[out - 1].pos == b[i].pos) {
+            b[out - 1].cost += b[i].cost;
+            b[out - 1].arcs += b[i].arcs;
+        } else {
+            b[out++] = b[i];
+        }
+    }
+    b.resize(out);
+}
 
 /** All per-cocoOptimize solver metrics, resolved once. */
 struct CocoCounters
@@ -271,6 +302,9 @@ solveRegCut(const FlowGraphInputs &in, const SafetyAnalysis &safety,
     out.finite = true;
     out.cost = 0;
     out.points.clear();
+    out.breakdown.clear();
+    out.graph_nodes = 0;
+    out.graph_arcs = 0;
     c.solves.add();
     RetainedGraph &rg =
         arena.retained[ProblemKey{ts, tt, /*is_mem=*/false, r}];
@@ -282,6 +316,7 @@ solveRegCut(const FlowGraphInputs &in, const SafetyAnalysis &safety,
     const bool warm = opts.warm_start && rg.built &&
                       rg.vlive == vlive &&
                       (rg.solved || rg.fg.trivial);
+    out.warm = warm;
     arena.mf.setAlgorithm(opts.flow_algo);
     uint64_t paths0 = arena.mf.stats().augmenting_paths;
     uint64_t relabels0 = arena.mf.stats().global_relabels;
@@ -318,11 +353,17 @@ solveRegCut(const FlowGraphInputs &in, const SafetyAnalysis &safety,
     if (!out.finite)
         return;
     out.cost = flow;
+    out.graph_nodes = rg.fg.net.numNodes();
+    out.graph_arcs = rg.fg.net.numArcs();
     for (int a : arena.mf.minCutArcs()) {
         GMT_ASSERT(rg.fg.arc_points[a].block != kNoBlock);
         out.points.push_back(rg.fg.arc_points[a]);
+        out.breakdown.push_back(
+            {rg.fg.arc_points[a].block, rg.fg.arc_points[a].pos,
+             static_cast<int64_t>(rg.fg.net.arcCapacity(a)), 1});
     }
     out.points = normalize(std::move(out.points));
+    normalizeBreakdown(out.breakdown);
     captureProblem(capture, rg.fg, /*is_mem=*/false, ts, tt, r);
 }
 
@@ -336,6 +377,9 @@ solveMemCut(const FlowGraphInputs &in,
     out.finite = true;
     out.cost = 0;
     out.points.clear();
+    out.breakdown.clear();
+    out.graph_nodes = 0;
+    out.graph_arcs = 0;
     c.solves.add();
     RetainedGraph &rg =
         arena.retained[ProblemKey{ts, tt, /*is_mem=*/true, kNoReg}];
@@ -346,6 +390,7 @@ solveMemCut(const FlowGraphInputs &in,
     const bool warm = opts.warm_start && rg.built &&
                       rg.fg.pairs.size() == deps.size() &&
                       (opts.multi_pair_memory || rg.solved);
+    out.warm = warm;
     arena.mf.setAlgorithm(opts.flow_algo);
     uint64_t paths0 = arena.mf.stats().augmenting_paths;
     uint64_t relabels0 = arena.mf.stats().global_relabels;
@@ -407,9 +452,16 @@ solveMemCut(const FlowGraphInputs &in,
     if (!out.finite)
         return;
     out.cost = cut.cost;
-    for (int a : cut.arcs)
+    out.graph_nodes = rg.fg.net.numNodes();
+    out.graph_arcs = rg.fg.net.numArcs();
+    for (int a : cut.arcs) {
         out.points.push_back(rg.fg.arc_points[a]);
+        out.breakdown.push_back(
+            {rg.fg.arc_points[a].block, rg.fg.arc_points[a].pos,
+             static_cast<int64_t>(rg.fg.net.arcCapacity(a)), 1});
+    }
     out.points = normalize(std::move(out.points));
+    normalizeBreakdown(out.breakdown);
     captureProblem(capture, rg.fg, /*is_mem=*/true, ts, tt, kNoReg);
 }
 
@@ -499,6 +551,31 @@ cocoOptimize(const Function &f, const Pdg &pdg,
     // std::map-keyed ones: ascending unique keys).
     std::vector<std::pair<RegKey, PointList>> reg_placements;
     std::vector<std::pair<PairKey, PointList>> mem_placements;
+
+    // Decision records shadowing the accumulators (same keys, same
+    // order), kept across iterations so a decision can tell which
+    // iteration its final point set first appeared in.
+    const bool record = exec.provenance != nullptr;
+    std::vector<std::pair<RegKey, PlacementDecision>> reg_decs;
+    std::vector<std::pair<PairKey, PlacementDecision>> mem_decs;
+    auto prevRegDec = [&](const RegKey &k) -> const PlacementDecision * {
+        auto it = std::lower_bound(
+            reg_decs.begin(), reg_decs.end(), k,
+            [](const auto &e, const RegKey &key) {
+                return e.first < key;
+            });
+        return it != reg_decs.end() && it->first == k ? &it->second
+                                                      : nullptr;
+    };
+    auto prevMemDec = [&](const PairKey &k) -> const PlacementDecision * {
+        auto it = std::lower_bound(
+            mem_decs.begin(), mem_decs.end(), k,
+            [](const auto &e, const PairKey &key) {
+                return e.first < key;
+            });
+        return it != mem_decs.end() && it->first == k ? &it->second
+                                                      : nullptr;
+    };
 
     std::vector<int> needers;
 
@@ -719,6 +796,8 @@ cocoOptimize(const Function &f, const Pdg &pdg,
         // identical graph, otherwise it is re-solved inline. ----
         std::vector<std::pair<RegKey, PointList>> new_reg;
         std::vector<std::pair<PairKey, PointList>> new_mem;
+        std::vector<std::pair<RegKey, PlacementDecision>> new_reg_dec;
+        std::vector<std::pair<PairKey, PlacementDecision>> new_mem_dec;
 
         ArenaLease main_arena(arenas, counters.arena_reuse);
         CachedCut inline_cut;
@@ -751,6 +830,7 @@ cocoOptimize(const Function &f, const Pdg &pdg,
 
             if (!p.is_mem) {
                 PointList points;
+                const CachedCut *used_cut = nullptr;
                 if (opts.optimize_registers) {
                     CachedCut &slot = slotFor(p);
                     // The serial solve reads relevant[ts] and
@@ -791,18 +871,53 @@ cocoOptimize(const Function &f, const Pdg &pdg,
                                "no finite register cut");
                     result.register_cut_cost += cut->cost;
                     points = cut->points;
+                    used_cut = cut;
                 }
+                const bool from_cut = !points.empty();
                 if (points.empty()) {
                     points = defaultRegPoints(f, pdg, partition,
                                               relevant, reg_arcs,
                                               p.ts, p.tt, p.r,
                                               needers);
                 }
-                new_reg.push_back({RegKey{p.ts, p.tt, p.r}, points});
+                const RegKey key{p.ts, p.tt, p.r};
+                if (record) {
+                    PlacementDecision d;
+                    d.is_mem = false;
+                    d.reg = p.r;
+                    d.src_thread = p.ts;
+                    d.dst_thread = p.tt;
+                    d.problem = static_cast<int>(i);
+                    d.rule = from_cut ? "coco-cut" : "coco-default";
+                    if (used_cut) {
+                        d.cut_cost = used_cut->cost;
+                        d.graph_nodes = used_cut->graph_nodes;
+                        d.graph_arcs = used_cut->graph_arcs;
+                        d.exec_warm = used_cut->warm;
+                    }
+                    if (from_cut) {
+                        d.points = used_cut->breakdown;
+                    } else {
+                        for (const auto &pt : points)
+                            d.points.push_back(
+                                {pt.block, pt.pos,
+                                 static_cast<int64_t>(
+                                     profile.pointWeight(pt)),
+                                 0});
+                    }
+                    const PlacementDecision *prev = prevRegDec(key);
+                    d.iteration = prev && prev->rule == d.rule &&
+                                          prev->points == d.points
+                                      ? prev->iteration
+                                      : result.iterations;
+                    new_reg_dec.push_back({key, std::move(d)});
+                }
+                new_reg.push_back({key, points});
                 for (const auto &pt : points)
                     grow(p.tt, pt);
             } else {
                 PointList points;
+                const CachedCut *used_cut = nullptr;
                 if (opts.optimize_memory) {
                     CachedCut &slot = slotFor(p);
                     // Memory graphs read no liveness, so the pair-
@@ -833,6 +948,7 @@ cocoOptimize(const Function &f, const Pdg &pdg,
                     GMT_ASSERT(cut->finite, "no finite memory cut");
                     result.memory_cut_cost += cut->cost;
                     points = cut->points;
+                    used_cut = cut;
                 } else {
                     for (auto [src, _] : *p.deps) {
                         points.push_back({f.instr(src).block,
@@ -840,7 +956,37 @@ cocoOptimize(const Function &f, const Pdg &pdg,
                     }
                     points = normalize(std::move(points));
                 }
-                new_mem.push_back({PairKey{p.ts, p.tt}, points});
+                const PairKey key{p.ts, p.tt};
+                if (record) {
+                    PlacementDecision d;
+                    d.is_mem = true;
+                    d.src_thread = p.ts;
+                    d.dst_thread = p.tt;
+                    d.problem = static_cast<int>(i);
+                    d.num_deps = static_cast<int>(p.deps->size());
+                    d.rule = used_cut ? "coco-cut" : "coco-default";
+                    if (used_cut) {
+                        d.cut_cost = used_cut->cost;
+                        d.graph_nodes = used_cut->graph_nodes;
+                        d.graph_arcs = used_cut->graph_arcs;
+                        d.exec_warm = used_cut->warm;
+                        d.points = used_cut->breakdown;
+                    } else {
+                        for (const auto &pt : points)
+                            d.points.push_back(
+                                {pt.block, pt.pos,
+                                 static_cast<int64_t>(
+                                     profile.pointWeight(pt)),
+                                 0});
+                    }
+                    const PlacementDecision *prev = prevMemDec(key);
+                    d.iteration = prev && prev->rule == d.rule &&
+                                          prev->points == d.points
+                                      ? prev->iteration
+                                      : result.iterations;
+                    new_mem_dec.push_back({key, std::move(d)});
+                }
+                new_mem.push_back({key, points});
                 for (const auto &pt : points)
                     grow(p.tt, pt);
             }
@@ -857,6 +1003,18 @@ cocoOptimize(const Function &f, const Pdg &pdg,
                   [](const auto &a, const auto &b) {
                       return a.first < b.first;
                   });
+        if (record) {
+            std::sort(new_reg_dec.begin(), new_reg_dec.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+            std::sort(new_mem_dec.begin(), new_mem_dec.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+            reg_decs = std::move(new_reg_dec);
+            mem_decs = std::move(new_mem_dec);
+        }
 
         bool converged =
             (new_reg == reg_placements) && (new_mem == mem_placements);
@@ -866,16 +1024,47 @@ cocoOptimize(const Function &f, const Pdg &pdg,
             break;
     }
 
-    // Materialize the plan in deterministic order.
-    for (const auto &[key, points] : reg_placements) {
+    // Materialize the plan in deterministic order. Decision records
+    // pick up their final plan index here (or land in elided when no
+    // points survived); reg_decs/mem_decs share the accumulators' key
+    // sequence, so positions line up one to one.
+    if (record) {
+        GMT_ASSERT(reg_decs.size() == reg_placements.size() &&
+                   mem_decs.size() == mem_placements.size());
+        exec.provenance->source = "coco";
+        exec.provenance->iterations = result.iterations;
+    }
+    for (size_t k = 0; k < reg_placements.size(); ++k) {
+        const auto &[key, points] = reg_placements[k];
         auto [ts, tt, r] = key;
+        if (record) {
+            PlacementDecision d = std::move(reg_decs[k].second);
+            if (points.empty()) {
+                exec.provenance->elided.push_back(std::move(d));
+            } else {
+                d.index =
+                    static_cast<int>(result.plan.placements.size());
+                exec.provenance->placements.push_back(std::move(d));
+            }
+        }
         if (points.empty())
             continue;
         result.plan.placements.push_back(
             {CommKind::RegisterData, r, ts, tt, points});
     }
-    for (const auto &[key, points] : mem_placements) {
+    for (size_t k = 0; k < mem_placements.size(); ++k) {
+        const auto &[key, points] = mem_placements[k];
         auto [ts, tt] = key;
+        if (record) {
+            PlacementDecision d = std::move(mem_decs[k].second);
+            if (points.empty()) {
+                exec.provenance->elided.push_back(std::move(d));
+            } else {
+                d.index =
+                    static_cast<int>(result.plan.placements.size());
+                exec.provenance->placements.push_back(std::move(d));
+            }
+        }
         if (points.empty())
             continue;
         result.plan.placements.push_back(

@@ -18,6 +18,7 @@
 #include "analysis/edge_profile.hpp"
 #include "graph/max_flow.hpp"
 #include "mtcg/comm_plan.hpp"
+#include "obs/provenance.hpp"
 #include "partition/partition.hpp"
 #include "pdg/pdg.hpp"
 
@@ -117,6 +118,14 @@ struct CocoExec
 
     /** Optional cut-problem capture sink (bench/micro_mincut). */
     CutProblemCapture *capture = nullptr;
+
+    /**
+     * Optional decision-provenance sink: per-placement rule,
+     * Algorithm-2 iteration, cut problem id, and arc-cost breakdown,
+     * recorded exclusively on the serial apply walk — identical at
+     * any job count and warm or cold (the min cut is unique).
+     */
+    PlacementProvenance *provenance = nullptr;
 };
 
 /** Result of the optimizer. */

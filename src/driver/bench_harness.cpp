@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "obs/metrics.hpp"
@@ -23,7 +24,7 @@ usage(const char *argv0, int exit_code)
         "usage: %s [--jobs N] [--serial] [--coco-jobs N] "
         "[--no-cache] [--stats FILE] [--only W1,W2,...] [--quiet] "
         "[--no-mtverify] [--sim fast|reference] [--trace FILE] "
-        "[--workload-dir DIR]\n",
+        "[--workload-dir DIR] [--provenance FILE]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -94,6 +95,8 @@ parseBenchOptions(int argc, char **argv)
             opts.trace_path = value();
         else if (arg == "--workload-dir")
             opts.workload_dir = value();
+        else if (arg == "--provenance")
+            opts.provenance_path = value();
         else if (arg == "--help" || arg == "-h")
             usage(argv[0], 0);
         else {
@@ -179,6 +182,8 @@ BenchHarness::runAll(const std::vector<ExperimentCell> &cells)
         cell.opts.sim_engine = opts_.sim_engine;
         if (opts_.coco_jobs > 0)
             cell.opts.coco_jobs = opts_.coco_jobs;
+        if (!opts_.provenance_path.empty())
+            cell.opts.record_provenance = true;
     }
     auto results = runner_->runAll(batch);
     if (!opts_.quiet) {
@@ -201,6 +206,25 @@ BenchHarness::runAll(const std::vector<ExperimentCell> &cells)
             std::fprintf(stderr, "[bench] trace: %s (%zu events)\n",
                          opts_.trace_path.c_str(),
                          trace_->numEvents());
+    }
+    if (!opts_.provenance_path.empty()) {
+        std::ofstream os(opts_.provenance_path);
+        if (!os)
+            throw FatalError("cannot write provenance file: " +
+                             opts_.provenance_path);
+        os << "{\"schema\":1,\"type\":\"provenance-batch\",\"cells\":[";
+        size_t written = 0;
+        for (const auto &prov : runner_->provenances()) {
+            if (!prov)
+                continue;
+            if (written++)
+                os << ",";
+            os << prov->canonical_json;
+        }
+        os << "]}\n";
+        if (!opts_.quiet)
+            std::fprintf(stderr, "[bench] provenance: %s (%zu cells)\n",
+                         opts_.provenance_path.c_str(), written);
     }
     if (stats_)
         writeMetricsRecords(MetricsRegistry::global(), *stats_);

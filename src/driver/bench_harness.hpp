@@ -24,6 +24,11 @@
  *   --workload-dir D  load every *.gmt cell in D into the registry
  *                   (same-name cells replace built-ins, new names
  *                   append; see workloads/serialize.hpp)
+ *   --provenance FILE  record decision provenance for every cell and
+ *                   write one schema:1 JSON document with the cells'
+ *                   canonical provenance records (gmt-explain's
+ *                   input; purely observational — results are
+ *                   byte-identical with or without it)
  */
 
 #include <memory>
@@ -50,8 +55,9 @@ struct BenchOptions
     bool quiet = false;
     bool verify_mt = true;
     SimEngine sim_engine = SimEngine::Fast;
-    std::string trace_path;    ///< empty = no trace
-    std::string workload_dir;  ///< empty = built-ins only
+    std::string trace_path;      ///< empty = no trace
+    std::string workload_dir;    ///< empty = built-ins only
+    std::string provenance_path; ///< empty = no provenance file
 };
 
 /**

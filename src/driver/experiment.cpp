@@ -36,6 +36,7 @@ ExperimentRunner::runAll(const std::vector<ExperimentCell> &cells)
     std::vector<PipelineResult> results(cells.size());
     std::vector<std::exception_ptr> errors(cells.size());
     obs_profiles_.assign(cells.size(), nullptr);
+    provenances_.assign(cells.size(), nullptr);
 
     // One shared pool serves both levels of parallelism: cell tasks
     // here, and COCO's nested cut tasks (via TaskGroup, so a cell
@@ -60,6 +61,7 @@ ExperimentRunner::runAll(const std::vector<ExperimentCell> &cells)
             pipeline.run(ctx);
             results[i] = std::move(ctx.result);
             obs_profiles_[i] = ctx.obs;
+            provenances_[i] = ctx.prov;
         } catch (...) {
             errors[i] = std::current_exception();
         }

@@ -95,6 +95,17 @@ class ExperimentRunner
         return obs_profiles_;
     }
 
+    /**
+     * Decision-provenance artifacts of the most recent runAll(),
+     * parallel to its result vector. Null for cells that did not set
+     * PipelineOptions::record_provenance.
+     */
+    const std::vector<std::shared_ptr<const ProvenanceArtifact>> &
+    provenances() const
+    {
+        return provenances_;
+    }
+
     ArtifactCache &cache() { return cache_; }
 
     /** Resolved worker count for this configuration. */
@@ -105,6 +116,7 @@ class ExperimentRunner
     ArtifactCache cache_;
     ExperimentSummary summary_;
     std::vector<std::shared_ptr<const ObsProfileArtifact>> obs_profiles_;
+    std::vector<std::shared_ptr<const ProvenanceArtifact>> provenances_;
 };
 
 } // namespace gmt

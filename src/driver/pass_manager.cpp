@@ -134,6 +134,14 @@ obsProfileKey(const PipelineContext &ctx)
 }
 
 std::string
+provenanceKey(const PipelineContext &ctx)
+{
+    // Decisions are fixed once the multiplexed program is: every
+    // upstream decision axis is already encoded in queueAllocKey.
+    return "prov|" + queueAllocKey(ctx);
+}
+
+std::string
 coreMachineKey(const MachineConfig &m)
 {
     auto cache = [](const CacheConfig &c) {
@@ -883,6 +891,134 @@ passObsProfile(PipelineContext &ctx, PassStats &ps)
     emitSimTrace(ctx, *ctx.obs);
 }
 
+/**
+ * Re-derive every scheduling decision with instrumented serial
+ * re-runs of the deciding algorithms, each asserted equal to the
+ * pipeline's own (possibly cache-hit) artifact — so the published
+ * record provably describes this cell's schedule no matter which run
+ * populated the cache, and is byte-identical across job counts,
+ * cache states, and warm/cold max-flow.
+ */
+void
+passObsProvenance(PipelineContext &ctx, PassStats &ps)
+{
+    if (!ctx.opts.record_provenance) {
+        ps.add("skipped", 1);
+        return;
+    }
+    auto ir = ctx.ir;
+    auto profile = ctx.profile;
+    auto pdg_art = ctx.pdg;
+    auto part = ctx.partition;
+    auto plan = ctx.plan;
+    auto prog = ctx.prog;
+    const PipelineOptions opts = ctx.opts;
+    const std::string cell = ctx.cellId();
+    const std::string wname = ctx.workload->name;
+    ctx.prov = ctx.cached<ProvenanceArtifact>(
+        provenanceKey(ctx),
+        [&]() -> std::shared_ptr<const ProvenanceArtifact> {
+            auto art = std::make_shared<ProvenanceArtifact>();
+            Provenance &p = art->prov;
+            p.cell = cell;
+            p.workload = wname;
+            p.scheduler = schedulerName(opts.scheduler);
+            p.coco = opts.use_coco;
+            p.num_threads = opts.num_threads;
+
+            // Partitioner decisions.
+            ThreadPartition repart =
+                opts.scheduler == Scheduler::Dswp
+                    ? dswpPartition(
+                          pdg_art->pdg, profile->profile,
+                          {.num_threads = opts.num_threads},
+                          &p.partition)
+                    : gremioPartition(
+                          pdg_art->pdg, profile->profile,
+                          {.num_threads = opts.num_threads},
+                          &p.partition);
+            GMT_ASSERT(repart.assign == part->partition.assign,
+                       "provenance partition rerun diverged for ",
+                       cell);
+
+            // Placement decisions.
+            if (opts.use_coco) {
+                CocoExec exec; // all inline: the serial apply walk
+                exec.provenance = &p.placement;
+                auto coco = cocoOptimize(
+                    ir->func, pdg_art->pdg, part->partition,
+                    pdg_art->cd, profile->profile, opts.coco, exec);
+                GMT_ASSERT(coco.plan == plan->plan,
+                           "provenance placement rerun diverged for ",
+                           cell);
+            } else {
+                // Algorithm 1 has no search to replay: synthesize the
+                // rule and per-point profile weights from the plan.
+                p.placement.source = "mtcg-default";
+                const auto &placements = plan->plan.placements;
+                for (size_t i = 0; i < placements.size(); ++i) {
+                    const CommPlacement &pl = placements[i];
+                    PlacementDecision d;
+                    d.index = static_cast<int>(i);
+                    d.is_mem = pl.kind == CommKind::MemorySync;
+                    d.reg = pl.reg;
+                    d.src_thread = pl.src_thread;
+                    d.dst_thread = pl.dst_thread;
+                    d.rule = "mtcg-default";
+                    for (const auto &pt : pl.points)
+                        d.points.push_back(
+                            {pt.block, pt.pos,
+                             static_cast<int64_t>(
+                                 profile->profile.pointWeight(pt)),
+                             0});
+                    p.placement.placements.push_back(std::move(d));
+                }
+            }
+
+            // Queue decisions.
+            if (opts.max_queues <= 0) {
+                // passQueueAlloc was skipped: placement i owns
+                // queue i (paper footnote 1).
+                p.queues.max_queues = 0;
+                p.queues.num_queues = prog->prog.num_queues;
+                const auto &placements = plan->plan.placements;
+                for (size_t i = 0; i < prog->queue_of.size(); ++i) {
+                    const CommPlacement &pl = placements[i];
+                    QueueDecision d;
+                    d.queue = prog->queue_of[i];
+                    d.src_thread = pl.src_thread;
+                    d.dst_thread = pl.dst_thread;
+                    d.rule = "identity";
+                    d.pair_placements = 1;
+                    d.pair_queues = 1;
+                    d.placements.push_back(static_cast<int>(i));
+                    p.queues.queues.push_back(std::move(d));
+                }
+            } else {
+                QueueAllocation alloc = allocateQueues(
+                    plan->plan, opts.max_queues, &p.queues);
+                GMT_ASSERT(alloc.queue_of == prog->queue_of,
+                           "provenance queue rerun diverged for ",
+                           cell);
+            }
+
+            art->canonical_json = provenanceJson(p);
+            return art;
+        },
+        ps);
+    ps.add("units",
+           static_cast<int64_t>(ctx.prov->prov.partition.units.size()));
+    ps.add("placements",
+           static_cast<int64_t>(
+               ctx.prov->prov.placement.placements.size()));
+    ps.add("elided",
+           static_cast<int64_t>(ctx.prov->prov.placement.elided.size()));
+    ps.add("queues",
+           static_cast<int64_t>(ctx.prov->prov.queues.queues.size()));
+    ps.add("json_bytes",
+           static_cast<int64_t>(ctx.prov->canonical_json.size()));
+}
+
 } // namespace
 
 PassManager
@@ -909,6 +1045,7 @@ PassManager::standardPipeline()
     pm.addPass("mt-run", passMtRun);
     pm.addPass("sim", passSim);
     pm.addPass("obs-profile", passObsProfile);
+    pm.addPass("obs-provenance", passObsProvenance);
     return pm;
 }
 

@@ -14,7 +14,7 @@
  *
  *   build-ir -> edge-split -> verify -> profile -> pdg -> partition
  *     -> placement -> mtcg -> queue-alloc -> verify-mt -> mt-run
- *     -> sim -> obs-profile
+ *     -> sim -> obs-profile -> obs-provenance
  *
  * Passes communicate exclusively through the context's immutable
  * shared artifacts, which is what makes both the caching and the
@@ -36,6 +36,7 @@
 #include "driver/pipeline.hpp"
 #include "driver/stats.hpp"
 #include "mtcg/comm_plan.hpp"
+#include "obs/provenance.hpp"
 #include "obs/stall_report.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_writer.hpp"
@@ -188,6 +189,22 @@ struct ObsProfileArtifact
 };
 
 /**
+ * Decision provenance of one cell (the obs-provenance pass): the full
+ * Provenance record re-derived by serial instrumented re-runs of the
+ * partitioner, COCO, and the queue allocator — each asserted equal to
+ * the pipeline's own artifacts, so a cache-hit cell carries exactly
+ * the provenance of the run that populated the cache. canonical_json
+ * is the byte representation (schema:1, fixed key order) determinism
+ * tests and gmt-explain --diff compare; it excludes execution-only
+ * fields (warm/cold solve), which live only in `prov`.
+ */
+struct ProvenanceArtifact
+{
+    Provenance prov;
+    std::string canonical_json;
+};
+
+/**
  * Everything one cell's pass pipeline reads and produces. The
  * context is single-threaded; sharing happens only through the
  * (thread-safe) cache and the immutable artifacts it returns.
@@ -238,6 +255,7 @@ struct PipelineContext
     std::shared_ptr<const StSimArtifact> st_sim;
     std::shared_ptr<const MtSimArtifact> mt_sim;
     std::shared_ptr<const ObsProfileArtifact> obs;
+    std::shared_ptr<const ProvenanceArtifact> prov;
 
     /** Assembled by PassManager::run() after the last pass. */
     PipelineResult result;
@@ -300,7 +318,7 @@ class PassManager
     /** Run every pass in order and finalize ctx.result. */
     void run(PipelineContext &ctx) const;
 
-    /** The paper's full pipeline (the 13 standard passes). */
+    /** The paper's full pipeline (the 14 standard passes). */
     static PassManager standardPipeline();
 
     /**
@@ -327,6 +345,7 @@ std::string planKey(const PipelineContext &ctx);
 std::string mtcgKey(const PipelineContext &ctx);
 std::string queueAllocKey(const PipelineContext &ctx);
 std::string obsProfileKey(const PipelineContext &ctx);
+std::string provenanceKey(const PipelineContext &ctx);
 std::string machineKey(const MachineConfig &m);
 
 /**

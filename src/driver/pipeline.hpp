@@ -110,6 +110,16 @@ struct PipelineOptions
      * trace collector.
      */
     bool profile_stalls = false;
+
+    /**
+     * Run the obs-provenance pass: re-derive every scheduling
+     * decision (partitioner steps, COCO cuts, queue shares) with
+     * instrumented serial re-runs asserted equal to the pipeline's
+     * artifacts, and publish the record as a ProvenanceArtifact
+     * (obs/provenance.hpp). Purely observational: plans, programs,
+     * and results are byte-identical with this on or off.
+     */
+    bool record_provenance = false;
 };
 
 /** Everything the figures need from one cell. */

@@ -45,6 +45,8 @@ struct CommPlacement
     int src_thread = 0;
     int dst_thread = 0;
     std::vector<ProgramPoint> points;
+
+    bool operator==(const CommPlacement &) const = default;
 };
 
 /** A full communication plan for one partition. */
@@ -54,6 +56,8 @@ struct CommPlan
 
     /** One queue per placement. */
     int numQueues() const { return static_cast<int>(placements.size()); }
+
+    bool operator==(const CommPlan &) const = default;
 };
 
 /**

@@ -10,10 +10,13 @@ namespace gmt
 {
 
 QueueAllocation
-allocateQueues(const CommPlan &plan, int max_queues)
+allocateQueues(const CommPlan &plan, int max_queues,
+               QueueProvenance *prov)
 {
     QueueAllocation alloc;
     alloc.queue_of.assign(plan.placements.size(), -1);
+    if (prov)
+        prov->max_queues = max_queues;
 
     // Group placement indices by ordered thread pair.
     std::map<std::pair<int, int>, std::vector<int>> groups;
@@ -48,9 +51,28 @@ allocateQueues(const CommPlan &plan, int max_queues)
             alloc.queue_of[members[k]] =
                 next_queue + static_cast<int>(k % queues);
         }
+        if (prov) {
+            for (int q = 0; q < queues; ++q) {
+                QueueDecision d;
+                d.queue = next_queue + q;
+                d.src_thread = pair.first;
+                d.dst_thread = pair.second;
+                d.rule = queues == static_cast<int>(members.size())
+                             ? "identity"
+                             : "pair-share";
+                d.pair_placements = static_cast<int>(members.size());
+                d.pair_queues = queues;
+                for (size_t k = 0; k < members.size(); ++k)
+                    if (static_cast<int>(k % queues) == q)
+                        d.placements.push_back(members[k]);
+                prov->queues.push_back(std::move(d));
+            }
+        }
         next_queue += queues;
     }
     alloc.num_queues = next_queue;
+    if (prov)
+        prov->num_queues = alloc.num_queues;
     GMT_ASSERT(alloc.num_queues <= max_queues);
     return alloc;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mtcg/comm_plan.hpp"
+#include "obs/provenance.hpp"
 
 namespace gmt
 {
@@ -44,8 +45,12 @@ struct QueueAllocation
  * queues. Requires max_queues >= number of ordered thread pairs with
  * at least one placement (each pair needs one private queue to keep
  * the safety argument pairwise).
+ *
+ * When @p prov is non-null, records one QueueDecision per allocated
+ * queue (pair share, rule, multiplexed placement indices).
  */
-QueueAllocation allocateQueues(const CommPlan &plan, int max_queues);
+QueueAllocation allocateQueues(const CommPlan &plan, int max_queues,
+                               QueueProvenance *prov = nullptr);
 
 } // namespace gmt
 

@@ -1,0 +1,219 @@
+#ifndef GMT_OBS_EXPLAIN_HPP
+#define GMT_OBS_EXPLAIN_HPP
+
+/**
+ * @file
+ * gmt-explain's engine: answers "why" questions by joining the
+ * decision-provenance record (obs/provenance.hpp) against the
+ * simulator's stall attribution (obs/stall_report.hpp).
+ *
+ *  - Point queries: why is instruction i on thread t; why does queue
+ *    q exist (or not) and what does it multiplex.
+ *  - Costliest decisions: every StallReport entry resolved back to
+ *    the provenance records that caused it, ranked by stall cycles.
+ *    The join is conservation-checked: the block-side entries cover
+ *    StallReport::totalStallCycles() exactly, and every entry
+ *    resolves to at least one provenance record (tests/
+ *    test_provenance.cpp gates both).
+ *  - Schedule diff: per-instruction placement deltas plus
+ *    per-(block, queue) simulated-cycle-delta attribution between
+ *    two runs; a run diffed against itself is zero() (CI-gated).
+ *
+ * Lives in gmt_obs_report next to the stall rollup because the join
+ * needs CommPlan-level types on both sides.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/provenance.hpp"
+#include "obs/stall_report.hpp"
+
+namespace gmt
+{
+
+// ---------------------------------------------------------------------------
+// Point queries.
+
+/**
+ * Render "why is instruction @p instr where it is": the owning unit's
+ * decision (DSWP fill accounting or GREMIO candidate scores), plus
+ * every plan placement whose decision involves the instruction's
+ * thread and register. Text form, one story per line.
+ */
+void renderInstrExplanation(std::ostream &os, const Provenance &prov,
+                            const Function &f, InstrId instr);
+
+/**
+ * Render "why does queue @p queue exist": the allocator's decision
+ * (identity vs pair-share arithmetic) and the placement decisions
+ * multiplexed onto it, each with its rule, iteration, and per-point
+ * cost breakdown. For an unallocated id, explains the budget and
+ * lists the elided decisions (cuts that proved no queue is needed).
+ */
+void renderQueueExplanation(std::ostream &os, const Provenance &prov,
+                            int queue);
+
+/** Point-query JSON (schema:1, fixed key order). */
+void writeInstrExplanationJson(std::ostream &os, const Provenance &prov,
+                               const Function &f, InstrId instr);
+void writeQueueExplanationJson(std::ostream &os, const Provenance &prov,
+                               int queue);
+
+// ---------------------------------------------------------------------------
+// Costliest decisions.
+
+/** One StallReport entry joined to its provenance records. */
+struct CostEntry
+{
+    std::string kind;    ///< "queue" | "block"
+    uint64_t cycles = 0; ///< stall cycles the simulator charged
+
+    // kind == "queue": the allocated queue and the decisions behind
+    // every placement multiplexed onto it.
+    int queue = -1;
+    std::string queue_rule;
+    std::vector<int> placements;    ///< plan placement indices
+    std::vector<std::string> rules; ///< their deciding rules
+
+    // kind == "block": a (thread, source block) charge mapped to the
+    // unit decisions that put the stalled instructions there.
+    int thread = -1;
+    BlockId block = kNoBlock; ///< source-CFG block (label join)
+    std::string label;
+    std::vector<int> units; ///< deciding unit ids, ascending
+
+    /** Block had no instruction on the thread (replicated control);
+     *  resolved through the terminator's owning unit instead. */
+    bool terminator_fallback = false;
+
+    /** Provenance records this entry resolved to (>= 1 when the join
+     *  is complete; buildCostliestReport counts failures). */
+    int records = 0;
+
+    bool operator==(const CostEntry &) const = default;
+};
+
+/** The ranked costliest-decisions report of one simulated cell. */
+struct CostliestReport
+{
+    uint64_t total_stall_cycles = 0; ///< StallReport::totalStallCycles()
+
+    /** Sum over block entries — equals total_stall_cycles when the
+     *  attribution is conserved (queue entries are the same cycles
+     *  viewed from the queue side, so they are not added in). */
+    uint64_t block_cycles = 0;
+
+    /** Sum over queue entries (queue_full + empty + sa_port view). */
+    uint64_t queue_cycles = 0;
+
+    /** Entries that resolved to zero provenance records (must be 0). */
+    int unresolved = 0;
+
+    /** All entries, stall cycles descending; ties break queue-before-
+     *  block, then lower queue / (thread, block) id. */
+    std::vector<CostEntry> entries;
+
+    bool operator==(const CostliestReport &) const = default;
+};
+
+/**
+ * Join @p report against @p prov. @p f is the source function the
+ * provenance was recorded for (block labels join the MT blocks back
+ * to it).
+ */
+CostliestReport buildCostliestReport(const Provenance &prov,
+                                     const StallReport &report,
+                                     const Function &f);
+
+/** Render the top @p top entries (all when top <= 0) as text. */
+void renderCostliestReport(std::ostream &os, const CostliestReport &r,
+                           int top);
+
+/** Costliest-decisions JSON (schema:1, fixed key order). */
+void writeCostliestReportJson(std::ostream &os, const CostliestReport &r,
+                              int top);
+
+// ---------------------------------------------------------------------------
+// Schedule diff.
+
+/** An instruction placed on different threads by the two runs. */
+struct InstrMove
+{
+    InstrId instr = -1;
+    int thread_a = 0;
+    int thread_b = 0;
+
+    bool operator==(const InstrMove &) const = default;
+};
+
+/** Per-queue stall-cycle delta (only nonzero deltas are kept). */
+struct QueueCycleDelta
+{
+    int queue = -1;
+    int64_t stall_a = 0;
+    int64_t stall_b = 0;
+
+    bool operator==(const QueueCycleDelta &) const = default;
+};
+
+/** Per-(thread, block) stall-cycle delta (label-joined; only nonzero
+ *  deltas are kept). */
+struct BlockCycleDelta
+{
+    int thread = 0;
+    std::string label;
+    int64_t stall_a = 0;
+    int64_t stall_b = 0;
+
+    bool operator==(const BlockCycleDelta &) const = default;
+};
+
+/** Everything that differs between two scheduled runs. */
+struct ScheduleDiff
+{
+    std::string cell_a;
+    std::string cell_b;
+
+    uint64_t cycles_a = 0; ///< simulated MT cycles
+    uint64_t cycles_b = 0;
+
+    int instrs = 0; ///< instructions compared
+    std::vector<InstrMove> moved;
+
+    int queues_a = 0;
+    int queues_b = 0;
+    std::vector<QueueCycleDelta> queue_deltas;
+    std::vector<BlockCycleDelta> block_deltas;
+
+    /** No placement moved and no cycle attribution changed. */
+    bool zero() const
+    {
+        return moved.empty() && queue_deltas.empty() &&
+               block_deltas.empty() && cycles_a == cycles_b &&
+               queues_a == queues_b;
+    }
+
+    bool operator==(const ScheduleDiff &) const = default;
+};
+
+/**
+ * Diff run A against run B: instruction placements from the
+ * provenance records, cycle attribution from the stall reports. The
+ * runs must be over the same workload (same instruction id space);
+ * diffing a run against itself yields zero().
+ */
+ScheduleDiff diffSchedules(const Provenance &pa, const StallReport &ra,
+                           const Provenance &pb, const StallReport &rb);
+
+/** Render the diff as text. */
+void renderScheduleDiff(std::ostream &os, const ScheduleDiff &d);
+
+/** Diff JSON (schema:1, fixed key order). */
+void writeScheduleDiffJson(std::ostream &os, const ScheduleDiff &d);
+
+} // namespace gmt
+
+#endif // GMT_OBS_EXPLAIN_HPP

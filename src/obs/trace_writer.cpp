@@ -175,7 +175,7 @@ void
 TraceCollector::write(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    os << "{\"schema\":1,\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     for (size_t i = 0; i < events_.size(); ++i) {
         if (i)
             os << ",\n";

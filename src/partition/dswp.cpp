@@ -10,7 +10,7 @@ namespace gmt
 
 ThreadPartition
 dswpPartition(const Pdg &pdg, const EdgeProfile &profile,
-              const DswpOptions &opts)
+              const DswpOptions &opts, PartitionProvenance *prov)
 {
     const Function &f = pdg.func();
     GMT_ASSERT(opts.num_threads >= 1);
@@ -38,6 +38,16 @@ dswpPartition(const Pdg &pdg, const EdgeProfile &profile,
     uint64_t acc = 0;
     for (int c = 0; c < sccs.numComponents(); ++c) {
         stage_of_comp[c] = stage;
+        if (prov) {
+            UnitDecision d;
+            d.unit = c;
+            d.thread = stage;
+            d.order = c;
+            d.work = comp_weight[c];
+            d.acc_before = acc;
+            d.target = target;
+            prov->units.push_back(std::move(d));
+        }
         acc += comp_weight[c];
         if (acc >= target && stage + 1 < opts.num_threads) {
             ++stage;
@@ -50,6 +60,24 @@ dswpPartition(const Pdg &pdg, const EdgeProfile &profile,
     p.assign.resize(f.numInstrs());
     for (InstrId i = 0; i < f.numInstrs(); ++i)
         p.assign[i] = stage_of_comp[sccs.component[i]];
+
+    if (prov) {
+        prov->algorithm = "DSWP";
+        prov->num_threads = opts.num_threads;
+        prov->unit_of.assign(sccs.component.begin(),
+                             sccs.component.end());
+        prov->thread_of.assign(p.assign.begin(), p.assign.end());
+        for (UnitDecision &d : prov->units) {
+            d.num_members = 0;
+            d.first_instr = -1;
+        }
+        for (InstrId i = 0; i < f.numInstrs(); ++i) {
+            UnitDecision &d = prov->units[sccs.component[i]];
+            ++d.num_members;
+            if (d.first_instr < 0)
+                d.first_instr = i;
+        }
+    }
     return p;
 }
 

@@ -13,6 +13,7 @@
  */
 
 #include "analysis/edge_profile.hpp"
+#include "obs/provenance.hpp"
 #include "partition/partition.hpp"
 
 namespace gmt
@@ -27,9 +28,13 @@ struct DswpOptions
 /**
  * Partition @p pdg into a pipeline. Guaranteed to satisfy the
  * pipeline invariant (validatePartition with require_pipeline).
+ *
+ * When @p prov is non-null, records per-component greedy-fill
+ * decisions (unit ids = SCC component ids) into it.
  */
 ThreadPartition dswpPartition(const Pdg &pdg, const EdgeProfile &profile,
-                              const DswpOptions &opts = {});
+                              const DswpOptions &opts = {},
+                              PartitionProvenance *prov = nullptr);
 
 } // namespace gmt
 

@@ -44,16 +44,30 @@ latencyOf(const Instr &in, const GremioOptions &opts)
  */
 ThreadPartition
 gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
-                const GremioOptions &opts)
+                const GremioOptions &opts, PartitionProvenance *prov)
 {
     const Function &f = pdg.func();
     GMT_ASSERT(opts.num_threads >= 1);
 
+    if (prov) {
+        prov->algorithm = "GREMIO";
+        prov->num_threads = opts.num_threads;
+    }
+
     ThreadPartition p;
     p.num_threads = opts.num_threads;
     p.assign.assign(f.numInstrs(), 0);
-    if (opts.num_threads == 1)
+    if (opts.num_threads == 1) {
+        if (prov) {
+            prov->unit_of.assign(f.numInstrs(), 0);
+            prov->thread_of.assign(f.numInstrs(), 0);
+            UnitDecision d;
+            d.num_members = f.numInstrs();
+            d.first_instr = f.numInstrs() > 0 ? 0 : -1;
+            prov->units.push_back(std::move(d));
+        }
         return p;
+    }
 
     // --- Level 1: units ---------------------------------------------
     Digraph g = pdg.asDigraph();
@@ -114,6 +128,8 @@ gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
         }
         for (InstrId i = 0; i < f.numInstrs(); ++i)
             unit_of[i] = remap[unit_of[i]];
+        if (prov)
+            prov->loop_merges += num_units - next;
         num_units = next;
     }
 
@@ -135,6 +151,8 @@ gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
             break;
         for (InstrId i = 0; i < f.numInstrs(); ++i)
             unit_of[i] = merged.component[unit_of[i]];
+        if (prov)
+            prov->cycle_merges += num_units - merged.numComponents();
         num_units = merged.numComponents();
     }
 
@@ -177,9 +195,11 @@ gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
     // dependences are allowed, unlike DSWP).
     const uint64_t comm_cost_per_value =
         2 + static_cast<uint64_t>(opts.comm_latency);
+    int decision_order = 0;
     for (int u : order) {
         uint64_t best_score = ~uint64_t{0};
         int best_t = 0;
+        std::vector<ThreadCandidate> candidates;
         for (int t = 0; t < opts.num_threads; ++t) {
             uint64_t comm = 0;
             std::vector<InstrId> counted;
@@ -200,11 +220,25 @@ gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
                 }
             }
             uint64_t score = busy[t] + unit_work[u] + comm;
+            if (prov)
+                candidates.push_back({t, busy[t], comm, score, false});
             if (score < best_score ||
                 (score == best_score && busy[t] < busy[best_t])) {
                 best_score = score;
                 best_t = t;
             }
+        }
+        if (prov) {
+            candidates[best_t].chosen = true;
+            UnitDecision d;
+            d.unit = u;
+            d.thread = best_t;
+            d.order = decision_order++;
+            d.work = unit_work[u];
+            d.num_members = static_cast<int>(members[u].size());
+            d.first_instr = members[u].empty() ? -1 : members[u][0];
+            d.candidates = std::move(candidates);
+            prov->units.push_back(std::move(d));
         }
         unit_thread[u] = best_t;
         busy[best_t] += unit_work[u];
@@ -212,6 +246,11 @@ gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
 
     for (InstrId i = 0; i < f.numInstrs(); ++i)
         p.assign[i] = unit_thread[unit_of[i]];
+
+    if (prov) {
+        prov->unit_of = unit_of;
+        prov->thread_of.assign(p.assign.begin(), p.assign.end());
+    }
     return p;
 }
 

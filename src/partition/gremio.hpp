@@ -18,6 +18,7 @@
  */
 
 #include "analysis/edge_profile.hpp"
+#include "obs/provenance.hpp"
 #include "partition/partition.hpp"
 
 namespace gmt
@@ -38,9 +39,16 @@ struct GremioOptions
     int mem_latency = 2;
 };
 
-/** Partition @p pdg by ready-time list scheduling. */
+/**
+ * Partition @p pdg by ready-time list scheduling.
+ *
+ * When @p prov is non-null, records the unit-formation merges and,
+ * per list-scheduled unit, every thread's (busy, comm, score)
+ * candidate triple with the winner flagged.
+ */
 ThreadPartition gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
-                                const GremioOptions &opts = {});
+                                const GremioOptions &opts = {},
+                                PartitionProvenance *prov = nullptr);
 
 } // namespace gmt
 

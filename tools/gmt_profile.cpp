@@ -409,6 +409,22 @@ main(int argc, char **argv)
         }
     }
 
+    if (!sink) {
+        // The JSON path republishes the whole registry below; give the
+        // text report the same visibility into the min-cut solver's
+        // warm-start economy (PR 8's headline counters).
+        MetricsRegistry &m = MetricsRegistry::global();
+        std::printf(
+            "coco solver: %llu warm starts, %llu cold rebuilds, "
+            "%llu global relabels\n",
+            static_cast<unsigned long long>(
+                m.counter("coco.warm_starts").value()),
+            static_cast<unsigned long long>(
+                m.counter("coco.cold_rebuilds").value()),
+            static_cast<unsigned long long>(
+                m.counter("coco.relabel_global").value()));
+    }
+
     if (sink) {
         JsonObject summary;
         summary.num("schema", int64_t{1})
