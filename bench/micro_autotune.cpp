@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Microbenchmark + correctness gate for the feedback-directed
+ * autotuner (src/autotune/). Over the COCO cell matrix (every
+ * workload x {GREMIO, DSWP}) it runs the full pipeline with the
+ * autotune pass on, against one shared artifact cache, and reports:
+ *
+ *  - convergence: every cell must stop on the epsilon gate, not the
+ *    iteration cap;
+ *  - the speedup trajectory: geomean baseline vs. autotuned speedup
+ *    (tuned >= baseline per cell by construction — the loop only
+ *    accepts strict simulated improvements);
+ *  - per-iteration wall time: the first feedback round pays the cold
+ *    cut solves, later rounds warm-start from the retained max-flow
+ *    residuals and skip already-evaluated schedules, so warm rounds
+ *    must be materially cheaper than the cold one.
+ *
+ * Writes a flat BENCH_autotune.json for tools/bench_report and exits
+ * nonzero when a gate fails.
+ *
+ * Usage: micro_autotune [--only CSV] [--out FILE] [--warm-gate X]
+ *        (defaults: all workloads, ./BENCH_autotune.json, 1.5)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/artifact_cache.hpp"
+#include "driver/pass_manager.hpp"
+#include "driver/report.hpp"
+#include "driver/stats.hpp"
+#include "obs/metrics.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gmt;
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_autotune.json";
+    std::vector<std::string> only;
+    double warm_gate = 1.5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+            std::stringstream ss(argv[++i]);
+            std::string name;
+            while (std::getline(ss, name, ','))
+                if (!name.empty())
+                    only.push_back(name);
+        } else if (std::strcmp(argv[i], "--warm-gate") == 0 &&
+                   i + 1 < argc) {
+            warm_gate = std::atof(argv[++i]);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--only CSV] [--out FILE] [--warm-gate X]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<Workload> workloads;
+    for (const Workload &w : allWorkloads()) {
+        if (only.empty() ||
+            std::find(only.begin(), only.end(), w.name) != only.end())
+            workloads.push_back(w);
+    }
+    if (workloads.empty()) {
+        std::fprintf(stderr, "micro_autotune: no workloads selected\n");
+        return 2;
+    }
+
+    MetricsRegistry &m = MetricsRegistry::global();
+    const uint64_t warm0 = m.counter("coco.warm_starts").value();
+    const uint64_t cold0 = m.counter("coco.cold_rebuilds").value();
+
+    ArtifactCache cache;
+    bool all_converged = true;
+    int iterations = 0, accepted = 0, rejected = 0, improved = 0;
+    uint64_t warm_cut_reuses = 0;
+    std::vector<double> base_speedups, tuned_speedups;
+    std::vector<double> cold_ms, warm_ms;
+    for (const Workload &w : workloads) {
+        for (Scheduler sched : {Scheduler::Gremio, Scheduler::Dswp}) {
+            PipelineOptions po;
+            po.scheduler = sched;
+            po.use_coco = true;
+            po.autotune = true;
+            PipelineContext ctx(w, po);
+            ctx.cache = &cache;
+            PassManager::standardPipeline().run(ctx);
+
+            const PipelineResult &r = ctx.result;
+            const AutotuneResult &at = ctx.autotune->result;
+            if (!at.converged) {
+                all_converged = false;
+                std::fprintf(stderr,
+                             "micro_autotune: %s hit the iteration "
+                             "cap without converging\n",
+                             ctx.cellId().c_str());
+            }
+            iterations += at.iterations;
+            accepted += at.moves_accepted;
+            rejected += at.moves_rejected;
+            warm_cut_reuses += at.warm_cut_reuses;
+            if (r.mt_cycles < r.baseline_mt_cycles)
+                ++improved;
+            base_speedups.push_back(
+                static_cast<double>(r.st_cycles) /
+                static_cast<double>(r.baseline_mt_cycles));
+            tuned_speedups.push_back(r.speedup());
+            if (!at.iter_wall_ms.empty()) {
+                cold_ms.push_back(at.iter_wall_ms.front());
+                for (size_t i = 1; i < at.iter_wall_ms.size(); ++i)
+                    warm_ms.push_back(at.iter_wall_ms[i]);
+            }
+        }
+    }
+
+    const double geomean_base = geomean(base_speedups);
+    const double geomean_tuned = geomean(tuned_speedups);
+    const double cold_iter_ms = mean(cold_ms);
+    const double warm_iter_ms = mean(warm_ms);
+    const double warm_speedup =
+        warm_iter_ms > 0.0 ? cold_iter_ms / warm_iter_ms : 0.0;
+
+    // Gates: converge everywhere, never lose speedup, and warm
+    // feedback rounds must be materially cheaper than the cold one
+    // (no warm rounds at all would mean no cell ever iterated, which
+    // also fails — the loop would not be exercising its reuse paths).
+    bool geomean_ok = geomean_tuned >= geomean_base;
+    bool warm_ok = !warm_ms.empty() && warm_speedup >= warm_gate;
+    if (!geomean_ok)
+        std::fprintf(stderr,
+                     "micro_autotune: tuned geomean %.4f < baseline "
+                     "%.4f\n",
+                     geomean_tuned, geomean_base);
+    if (!warm_ok)
+        std::fprintf(stderr,
+                     "micro_autotune: warm iterations not >= %.2fx "
+                     "cheaper than cold (cold %.2fms, warm %.2fms)\n",
+                     warm_gate, cold_iter_ms, warm_iter_ms);
+
+    JsonObject o;
+    o.str("bench", "autotune");
+    o.boolean("converged", all_converged);
+    o.num("cells", static_cast<int64_t>(base_speedups.size()));
+    o.num("iterations", static_cast<int64_t>(iterations));
+    o.num("moves_accepted", static_cast<int64_t>(accepted));
+    o.num("moves_rejected", static_cast<int64_t>(rejected));
+    o.num("improved_cells", static_cast<int64_t>(improved));
+    o.num("geomean_base", geomean_base);
+    o.num("geomean_tuned", geomean_tuned);
+    o.num("geomean_delta", geomean_tuned - geomean_base);
+    o.num("cold_iter_ms", cold_iter_ms);
+    o.num("warm_iter_ms", warm_iter_ms);
+    o.num("warm_speedup", warm_speedup);
+    o.num("warm_cut_reuses", warm_cut_reuses);
+    // bench_report derives its hit-rate column from this pair (the
+    // global COCO solver counters, bracketed around the matrix).
+    o.num("coco_warm_starts",
+          m.counter("coco.warm_starts").value() - warm0);
+    o.num("coco_cold_rebuilds",
+          m.counter("coco.cold_rebuilds").value() - cold0);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "micro_autotune: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    out << o.render() << "\n";
+    std::cout << o.render() << "\n";
+    return all_converged && geomean_ok && warm_ok ? 0 : 1;
+}

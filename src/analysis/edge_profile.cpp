@@ -50,4 +50,14 @@ EdgeProfile::pointWeight(const ProgramPoint &p) const
     return block_weight_[p.block];
 }
 
+EdgeProfile
+EdgeProfile::withBlockBoost(const std::vector<uint64_t> &boost) const
+{
+    EdgeProfile p = *this;
+    size_t n = std::min(boost.size(), p.block_weight_.size());
+    for (size_t b = 0; b < n; ++b)
+        p.block_weight_[b] += boost[b];
+    return p;
+}
+
 } // namespace gmt

@@ -44,6 +44,14 @@ class EdgeProfile
      */
     uint64_t pointWeight(const ProgramPoint &p) const;
 
+    /**
+     * Copy of this profile with @p boost[b] added to each block's
+     * weight (missing entries add 0); edge weights are unchanged.
+     * Used by the autotuner to re-solve COCO cuts with stall charges
+     * folded into the point costs.
+     */
+    EdgeProfile withBlockBoost(const std::vector<uint64_t> &boost) const;
+
   private:
     std::vector<uint64_t> block_weight_;
     std::vector<std::vector<uint64_t>> edge_weight_;

@@ -1,6 +1,7 @@
 #include "coco/coco.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -154,6 +155,34 @@ class ArenaPool
         free_.push_back(std::move(arena));
     }
 
+    /**
+     * Cross-call adoption (CocoArenaCache): register graphs retained
+     * at a grown liveness version are not comparable across calls
+     * (version numbers restart at 0 and the growth history differs),
+     * so drop them; version-0 register graphs and memory graphs have
+     * topology fixed by (function, partition) and stay. All arenas
+     * sit in the free list between calls.
+     */
+    void
+    dropStaleRetained()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &a : free_)
+            for (auto it = a->retained.begin();
+                 it != a->retained.end();)
+                if (!std::get<2>(it->first) && it->second.vlive != 0)
+                    it = a->retained.erase(it);
+                else
+                    ++it;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        free_.clear();
+    }
+
   private:
     std::mutex mu_;
     std::vector<std::unique_ptr<CutArena>> free_;
@@ -246,6 +275,12 @@ struct CocoCounters
     Counter &cold_rebuilds;
     Counter &relabel_global;
 
+    /** Per-call tallies (the Counter refs are process-global and
+     *  aggregate across concurrent cells; CocoResult wants this
+     *  call's share). */
+    std::atomic<uint64_t> warm_local{0};
+    std::atomic<uint64_t> cold_local{0};
+
     static CocoCounters
     resolve()
     {
@@ -323,6 +358,7 @@ solveRegCut(const FlowGraphInputs &in, const SafetyAnalysis &safety,
     Capacity flow = 0;
     if (warm) {
         c.warm_starts.add();
+        c.warm_local.fetch_add(1, std::memory_order_relaxed);
         if (rg.fg.trivial)
             return;
         diffFlowGraphCosts(in, ts, tt, rg.fg, arena.scratch,
@@ -334,6 +370,7 @@ solveRegCut(const FlowGraphInputs &in, const SafetyAnalysis &safety,
         rg.solved = true;
     } else {
         c.cold_rebuilds.add();
+        c.cold_local.fetch_add(1, std::memory_order_relaxed);
         buildRegisterFlowGraph(in, safety, live, r, ts, tt, rg.fg,
                                arena.scratch);
         rg.built = true;
@@ -401,6 +438,7 @@ solveMemCut(const FlowGraphInputs &in,
         // win here is build reuse: refresh the costs that moved and
         // rewind the residuals + removals to the pristine state.
         c.warm_starts.add();
+        c.warm_local.fetch_add(1, std::memory_order_relaxed);
         diffFlowGraphCosts(in, ts, tt, rg.fg, arena.scratch,
                            arena.deltas);
         rg.fg.net.clearRemoved();
@@ -413,6 +451,7 @@ solveMemCut(const FlowGraphInputs &in,
         // Super-pair mode is one fixed-terminal problem: a true warm
         // start from the retained residual.
         c.warm_starts.add();
+        c.warm_local.fetch_add(1, std::memory_order_relaxed);
         diffFlowGraphCosts(in, ts, tt, rg.fg, arena.scratch,
                            arena.deltas);
         arena.mf.attachSolved(rg.fg.net, rg.super_s, rg.super_t,
@@ -427,6 +466,7 @@ solveMemCut(const FlowGraphInputs &in,
         }
     } else {
         c.cold_rebuilds.add();
+        c.cold_local.fetch_add(1, std::memory_order_relaxed);
         buildMemoryFlowGraph(in, deps, ts, tt, rg.fg, arena.scratch);
         rg.built = true;
         rg.solved = false;
@@ -466,6 +506,21 @@ solveMemCut(const FlowGraphInputs &in,
 }
 
 } // namespace
+
+struct CocoArenaCache::Impl
+{
+    ArenaPool pool;
+};
+
+CocoArenaCache::CocoArenaCache() : impl_(std::make_unique<Impl>()) {}
+
+CocoArenaCache::~CocoArenaCache() = default;
+
+void
+CocoArenaCache::flush()
+{
+    impl_->pool.clear();
+}
 
 CocoResult
 cocoOptimize(const Function &f, const Pdg &pdg,
@@ -544,7 +599,15 @@ cocoOptimize(const Function &f, const Pdg &pdg,
         return cut_cache[ProblemKey{p.ts, p.tt, p.is_mem, p.r}];
     };
 
-    ArenaPool arenas;
+    // Arenas either live for this call only or are adopted from the
+    // caller's cross-call cache (autotuner re-cuts warm-start from
+    // the previous call's retained residuals).
+    ArenaPool local_arenas;
+    ArenaPool &arenas = exec.arena_cache != nullptr
+                            ? exec.arena_cache->impl()->pool
+                            : local_arenas;
+    if (exec.arena_cache != nullptr)
+        arenas.dropStaleRetained();
     const bool parallel = exec.pool != nullptr && exec.jobs > 1;
 
     // Flat sorted accumulators (same iteration order as the old
@@ -1070,6 +1133,10 @@ cocoOptimize(const Function &f, const Pdg &pdg,
         result.plan.placements.push_back(
             {CommKind::MemorySync, kNoReg, ts, tt, points});
     }
+    result.warm_starts =
+        counters.warm_local.load(std::memory_order_relaxed);
+    result.cold_rebuilds =
+        counters.cold_local.load(std::memory_order_relaxed);
     return result;
 }
 

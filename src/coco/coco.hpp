@@ -11,6 +11,7 @@
  * converges (guaranteed: relevant sets only grow).
  */
 
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -99,6 +100,41 @@ struct CutProblemCapture
 };
 
 /**
+ * Opaque handle to COCO's worker arenas (retained flow graphs +
+ * max-flow residuals) that survives across cocoOptimize calls, so a
+ * re-cut of the *same partition* with shifted arc costs (the
+ * autotuner's stall-boosted profiles) warm-starts from the previous
+ * call's residuals via MaxFlow::resolve instead of solving from zero.
+ *
+ * Soundness contract: retained graph topology depends on the function
+ * and the partition (memory graphs: the cross-thread dependence pair
+ * list; register graphs: the version-0 relevant-branch sets). The
+ * cache is therefore only valid across calls that share both — the
+ * owner must flush() whenever the partition changes. Register graphs
+ * retained at a grown liveness version are dropped automatically on
+ * the next adoption (version numbers are not comparable across
+ * calls). Plans stay byte-identical warm or cold (min cuts are
+ * unique; debug builds cross-check).
+ */
+class CocoArenaCache
+{
+  public:
+    CocoArenaCache();
+    ~CocoArenaCache();
+    CocoArenaCache(const CocoArenaCache &) = delete;
+    CocoArenaCache &operator=(const CocoArenaCache &) = delete;
+
+    /** Drop every retained graph (call on partition change). */
+    void flush();
+
+    struct Impl;
+    Impl *impl() const { return impl_.get(); }
+
+  private:
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
  * Execution resources for the optimizer. COCO's cut problems are
  * solved speculatively in parallel on the shared pool (nested inside
  * the experiment runner's cell-level tasks via TaskGroup), then
@@ -126,6 +162,12 @@ struct CocoExec
      * any job count and warm or cold (the min cut is unique).
      */
     PlacementProvenance *provenance = nullptr;
+
+    /**
+     * Optional cross-call arena cache (see CocoArenaCache). Null =
+     * arenas are local to the call (no cross-call warm starts).
+     */
+    CocoArenaCache *arena_cache = nullptr;
 };
 
 /** Result of the optimizer. */
@@ -141,6 +183,13 @@ struct CocoResult
 
     /** Total multi-cut cost over all memory cuts. */
     Capacity memory_cut_cost = 0;
+
+    /** Warm-started solves in *this call* (global coco.* counters
+     *  aggregate across concurrent cells; these do not). */
+    uint64_t warm_starts = 0;
+
+    /** Cold builds/rebuilds in this call. */
+    uint64_t cold_rebuilds = 0;
 };
 
 /**

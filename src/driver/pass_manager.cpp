@@ -46,6 +46,8 @@ PipelineContext::cellId() const
     id += schedulerName(opts.scheduler);
     if (opts.use_coco)
         id += "+COCO";
+    if (opts.autotune)
+        id += "+AT";
     return id;
 }
 
@@ -120,17 +122,50 @@ queueAllocKey(const PipelineContext &ctx)
            "|maxq=" + std::to_string(ctx.opts.max_queues);
 }
 
+namespace
+{
+
+/** Result axes of the autotune loop (part of every key that depends
+ *  on the tuned schedule). Empty when the pass is off, so baseline
+ *  cells and autotuned cells share every upstream artifact. */
+std::string
+autotuneAxes(const PipelineOptions &o)
+{
+    if (!o.autotune)
+        return "";
+    const AutotuneOptions &a = o.autotune_opts;
+    return "|at|maxit=" + std::to_string(a.max_iterations) +
+           "|eps=" + std::to_string(a.min_rel_improvement) +
+           "|topq=" + std::to_string(a.migrate_top_queues) +
+           "|migmax=" + std::to_string(a.migrate_max_candidates);
+}
+
+} // namespace
+
+std::string
+autotuneKey(const PipelineContext &ctx)
+{
+    // The loop simulates on the configured machine/engine, so both
+    // are axes of the tuned schedule (unlike the codegen prefix).
+    return "autotune|" + queueAllocKey(ctx) + '|' +
+           machineKey(ctx.opts.machine) +
+           (ctx.opts.sim_engine == SimEngine::Reference ? "|ref" : "") +
+           autotuneAxes(ctx.opts);
+}
+
 std::string
 obsProfileKey(const PipelineContext &ctx)
 {
     // The attribution itself is engine-independent, but the keys stay
     // apart per engine so differential tests exercise both engines'
-    // instrumentation instead of sharing one cached artifact.
+    // instrumentation instead of sharing one cached artifact. The
+    // autotune axes describe the tuned schedule being profiled.
     if (!ctx.opts.simulate)
         return "obs|" + queueAllocKey(ctx) + "|nosim";
     return "obs|" + queueAllocKey(ctx) + '|' +
            machineKey(ctx.opts.machine) +
-           (ctx.opts.sim_engine == SimEngine::Reference ? "|ref" : "");
+           (ctx.opts.sim_engine == SimEngine::Reference ? "|ref" : "") +
+           autotuneAxes(ctx.opts);
 }
 
 std::string
@@ -138,7 +173,9 @@ provenanceKey(const PipelineContext &ctx)
 {
     // Decisions are fixed once the multiplexed program is: every
     // upstream decision axis is already encoded in queueAllocKey.
-    return "prov|" + queueAllocKey(ctx);
+    // With autotuning on, the record describes the tuned schedule,
+    // which additionally depends on the loop's axes.
+    return "prov|" + queueAllocKey(ctx) + autotuneAxes(ctx.opts);
 }
 
 std::string
@@ -254,8 +291,18 @@ emitCellRecord(PipelineContext &ctx, double total_ms)
         .num("mt_cycles", r.mt_cycles)
         .num("speedup", r.speedup())
         .num("coco_iterations",
-             static_cast<int64_t>(r.coco_iterations))
-        .num("wall_ms", total_ms);
+             static_cast<int64_t>(r.coco_iterations));
+    if (r.autotuned)
+        rec.boolean("autotuned", true)
+            .num("baseline_mt_cycles", r.baseline_mt_cycles)
+            .num("autotune_iterations",
+                 static_cast<int64_t>(r.autotune_iterations))
+            .num("autotune_moves_accepted",
+                 static_cast<int64_t>(r.autotune_moves_accepted))
+            .num("autotune_moves_rejected",
+                 static_cast<int64_t>(r.autotune_moves_rejected))
+            .boolean("autotune_converged", r.autotune_converged);
+    rec.num("wall_ms", total_ms);
     ctx.stats->write(rec);
 }
 
@@ -315,6 +362,15 @@ PassManager::run(PipelineContext &ctx) const
         ctx.result.st_cycles = ctx.st_sim->cycles;
     if (ctx.mt_sim)
         ctx.result.mt_cycles = ctx.mt_sim->cycles;
+    if (ctx.autotune) {
+        const AutotuneResult &at = ctx.autotune->result;
+        ctx.result.autotuned = true;
+        ctx.result.baseline_mt_cycles = at.baseline_cycles;
+        ctx.result.autotune_iterations = at.iterations;
+        ctx.result.autotune_moves_accepted = at.moves_accepted;
+        ctx.result.autotune_moves_rejected = at.moves_rejected;
+        ctx.result.autotune_converged = at.converged;
+    }
 
     double total_ms = std::chrono::duration<double, std::milli>(
                           Clock::now() - run_start)
@@ -757,6 +813,140 @@ passSim(PipelineContext &ctx, PassStats &ps)
 }
 
 /**
+ * Environment the autotune library needs, pointing into this cell's
+ * *upstream* artifacts (base profile, original function/PDG). Valid
+ * only while the context's artifact shared_ptrs are alive — pass
+ * functions call and consume it synchronously.
+ */
+AutotuneInputs
+makeAutotuneInputs(const PipelineContext &ctx)
+{
+    const Workload &w = *ctx.workload;
+    AutotuneInputs in;
+    in.f = &ctx.ir->func;
+    in.pdg = &ctx.pdg->pdg;
+    in.cd = &ctx.pdg->cd;
+    in.profile = &ctx.profile->profile;
+    in.gremio = ctx.opts.scheduler == Scheduler::Gremio;
+    in.num_threads = ctx.opts.num_threads;
+    in.use_coco = ctx.opts.use_coco;
+    in.coco = ctx.opts.coco;
+    in.queue_capacity = resolvedQueueCapacity(ctx.opts);
+    in.max_queues = ctx.opts.max_queues;
+    in.machine = ctx.opts.machine;
+    in.engine = ctx.opts.sim_engine;
+    in.ref_args = &w.ref_args;
+    in.make_memory = [&w]() { return workloadMemory(w, /*ref=*/true); };
+    in.st_live_outs = &ctx.st_ref->live_outs;
+    in.st_final_mem = &ctx.st_ref->final_mem;
+    in.pool = ctx.pool;
+    in.coco_jobs = ctx.opts.coco_jobs;
+    return in;
+}
+
+/**
+ * Close the profile -> schedule loop (src/autotune/): run the
+ * feedback autotuner from this cell's schedule, then republish the
+ * tuned schedule into the partition/plan/prog/mt_run/mt_decoded/
+ * mt_sim slots so every downstream pass — obs-profile, obs-provenance
+ * — and the assembled result describe the tuned schedule. The
+ * baseline artifacts keep their un-suffixed cache keys, so a baseline
+ * cell and its autotuned twin share the entire codegen + simulation
+ * prefix (which is what makes warm iterations cheap).
+ */
+void
+passAutotune(PipelineContext &ctx, PassStats &ps)
+{
+    if (!ctx.opts.autotune) {
+        ps.add("skipped", 1);
+        return;
+    }
+    GMT_ASSERT(ctx.opts.simulate,
+               "autotune requires the timing simulation");
+    GMT_ASSERT(ctx.mt_sim && ctx.st_ref,
+               "autotune needs the sim pass's artifacts");
+
+    auto part = ctx.partition;
+    auto plan = ctx.plan;
+    auto prog = ctx.prog;
+    auto mt_sim = ctx.mt_sim;
+    ctx.autotune = ctx.cached<AutotuneArtifact>(
+        autotuneKey(ctx),
+        [&]() -> std::shared_ptr<const AutotuneArtifact> {
+            AutotuneInputs in = makeAutotuneInputs(ctx);
+            AutotuneSchedule baseline;
+            baseline.partition = part->partition;
+            baseline.plan = plan->plan;
+            baseline.plan_coco_iterations = plan->coco_iterations;
+            baseline.prog = prog->prog;
+            baseline.queue_of = prog->queue_of;
+            baseline.cycles = mt_sim->cycles;
+            auto art = std::make_shared<AutotuneArtifact>();
+            art->result = autotuneSchedule(in, baseline,
+                                           ctx.opts.autotune_opts);
+            art->moves_json = autotuneMovesJson(art->result);
+            return art;
+        },
+        ps);
+
+    // Republish the tuned schedule downstream.
+    const AutotuneResult &r = ctx.autotune->result;
+    const AutotuneSchedule &s = r.final_schedule;
+    {
+        auto art = std::make_shared<PartitionArtifact>();
+        art->partition = s.partition;
+        for (const auto &arc : ctx.pdg->pdg.arcs())
+            if (arc.kind == DepKind::Memory &&
+                art->partition.threadOf(arc.src) !=
+                    art->partition.threadOf(arc.dst))
+                art->has_mem_deps = true;
+        ctx.partition = art;
+    }
+    {
+        auto art = std::make_shared<PlanArtifact>();
+        art->plan = s.plan;
+        art->coco_iterations = s.plan_coco_iterations;
+        ctx.plan = art;
+    }
+    {
+        auto art = std::make_shared<ProgramArtifact>();
+        art->prog = s.prog;
+        art->queue_of = s.queue_of;
+        ctx.prog = art;
+    }
+    {
+        auto art = std::make_shared<MtRunArtifact>();
+        art->computation = r.computation;
+        art->duplicated_branches = r.duplicated_branches;
+        art->reg_comm = r.reg_comm;
+        art->mem_sync = r.mem_sync;
+        ctx.mt_run = art;
+    }
+    if (ctx.opts.sim_engine == SimEngine::Fast) {
+        auto art = std::make_shared<MtDecodedArtifact>();
+        art->prog = decodeProgram(s.prog);
+        ctx.mt_decoded = art;
+    } else {
+        ctx.mt_decoded = nullptr;
+    }
+    {
+        auto art = std::make_shared<MtSimArtifact>();
+        art->cycles = s.cycles;
+        ctx.mt_sim = art;
+    }
+
+    ps.add("iterations", r.iterations);
+    ps.add("moves_accepted", r.moves_accepted);
+    ps.add("moves_rejected", r.moves_rejected);
+    ps.add("converged", r.converged ? 1 : 0);
+    ps.add("warm_cut_reuses",
+           static_cast<int64_t>(r.warm_cut_reuses));
+    ps.add("baseline_cycles",
+           static_cast<int64_t>(r.baseline_cycles));
+    ps.add("tuned_cycles", static_cast<int64_t>(s.cycles));
+}
+
+/**
  * Render one profiled cell's simulator lanes into the trace: one
  * process per cell, one lane per core carrying its compute/stall
  * intervals, one counter track per queue. Timestamps are simulated
@@ -906,6 +1096,38 @@ passObsProvenance(PipelineContext &ctx, PassStats &ps)
         ps.add("skipped", 1);
         return;
     }
+    if (ctx.opts.autotune) {
+        // A tuned schedule is not re-derivable by the bare
+        // partitioner: build its record from the autotuner's result
+        // (SCC-synthesized units; placement re-derived by a serial
+        // instrumented COCO run under the final stall boost, asserted
+        // equal to the tuned plan).
+        GMT_ASSERT(ctx.autotune, "autotune pass must run first");
+        auto at = ctx.autotune;
+        const std::string cell = ctx.cellId();
+        const std::string wname = ctx.workload->name;
+        const std::string sched = schedulerName(ctx.opts.scheduler);
+        ctx.prov = ctx.cached<ProvenanceArtifact>(
+            provenanceKey(ctx),
+            [&]() -> std::shared_ptr<const ProvenanceArtifact> {
+                auto art = std::make_shared<ProvenanceArtifact>();
+                art->prov = autotuneProvenance(makeAutotuneInputs(ctx),
+                                               at->result, cell, wname,
+                                               sched);
+                art->canonical_json = provenanceJson(art->prov);
+                return art;
+            },
+            ps);
+        ps.add("units",
+               static_cast<int64_t>(
+                   ctx.prov->prov.partition.units.size()));
+        ps.add("placements",
+               static_cast<int64_t>(
+                   ctx.prov->prov.placement.placements.size()));
+        ps.add("json_bytes",
+               static_cast<int64_t>(ctx.prov->canonical_json.size()));
+        return;
+    }
     auto ir = ctx.ir;
     auto profile = ctx.profile;
     auto pdg_art = ctx.pdg;
@@ -1044,6 +1266,7 @@ PassManager::standardPipeline()
     pm.addPass("verify-mt", passVerifyMt);
     pm.addPass("mt-run", passMtRun);
     pm.addPass("sim", passSim);
+    pm.addPass("autotune", passAutotune);
     pm.addPass("obs-profile", passObsProfile);
     pm.addPass("obs-provenance", passObsProvenance);
     return pm;

@@ -14,7 +14,7 @@
  *
  *   build-ir -> edge-split -> verify -> profile -> pdg -> partition
  *     -> placement -> mtcg -> queue-alloc -> verify-mt -> mt-run
- *     -> sim -> obs-profile -> obs-provenance
+ *     -> sim -> autotune -> obs-profile -> obs-provenance
  *
  * Passes communicate exclusively through the context's immutable
  * shared artifacts, which is what makes both the caching and the
@@ -189,6 +189,21 @@ struct ObsProfileArtifact
 };
 
 /**
+ * The autotune pass's output (src/autotune/): the feedback loop's
+ * result — final schedule, move log, trajectory — plus the canonical
+ * move-log JSON (autotuneMovesJson) the determinism tests compare and
+ * gmt-explain prints. The pass also republishes the tuned schedule
+ * into the partition/plan/prog/mt_run/mt_sim slots, so everything
+ * downstream (obs-profile, obs-provenance, the result) describes the
+ * tuned schedule.
+ */
+struct AutotuneArtifact
+{
+    AutotuneResult result;
+    std::string moves_json;
+};
+
+/**
  * Decision provenance of one cell (the obs-provenance pass): the full
  * Provenance record re-derived by serial instrumented re-runs of the
  * partitioner, COCO, and the queue allocator — each asserted equal to
@@ -254,6 +269,7 @@ struct PipelineContext
     std::shared_ptr<const MtDecodedArtifact> mt_decoded;
     std::shared_ptr<const StSimArtifact> st_sim;
     std::shared_ptr<const MtSimArtifact> mt_sim;
+    std::shared_ptr<const AutotuneArtifact> autotune;
     std::shared_ptr<const ObsProfileArtifact> obs;
     std::shared_ptr<const ProvenanceArtifact> prov;
 
@@ -318,7 +334,7 @@ class PassManager
     /** Run every pass in order and finalize ctx.result. */
     void run(PipelineContext &ctx) const;
 
-    /** The paper's full pipeline (the 14 standard passes). */
+    /** The paper's full pipeline (the 15 standard passes). */
     static PassManager standardPipeline();
 
     /**
@@ -344,6 +360,7 @@ std::string partitionKey(const PipelineContext &ctx);
 std::string planKey(const PipelineContext &ctx);
 std::string mtcgKey(const PipelineContext &ctx);
 std::string queueAllocKey(const PipelineContext &ctx);
+std::string autotuneKey(const PipelineContext &ctx);
 std::string obsProfileKey(const PipelineContext &ctx);
 std::string provenanceKey(const PipelineContext &ctx);
 std::string machineKey(const MachineConfig &m);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "autotune/autotune.hpp"
 #include "coco/coco.hpp"
 #include "sim/cmp_simulator.hpp"
 #include "sim/machine_config.hpp"
@@ -120,6 +121,20 @@ struct PipelineOptions
      * and results are byte-identical with this on or off.
      */
     bool record_provenance = false;
+
+    /**
+     * Run the autotune pass: close the profile -> schedule loop
+     * (src/autotune/) starting from this cell's schedule, folding the
+     * simulator's stall attribution back into re-cuts, re-partitions,
+     * and boundary migrations until the relative improvement drops
+     * below autotune_opts.min_rel_improvement. Requires simulate; the
+     * downstream artifacts (program, cycles, counts, provenance)
+     * describe the tuned schedule, and the result carries both
+     * baseline and tuned cycles. Deterministic at any jobs/cache
+     * setting.
+     */
+    bool autotune = false;
+    AutotuneOptions autotune_opts;
 };
 
 /** Everything the figures need from one cell. */
@@ -156,6 +171,15 @@ struct PipelineResult
 
     /** COCO repeat-until iterations (0 when COCO is off). */
     int coco_iterations = 0;
+
+    // Autotune (all zero when the pass is off). mt_cycles above is
+    // the TUNED cycle count when autotuning ran.
+    bool autotuned = false;
+    uint64_t baseline_mt_cycles = 0; ///< pre-autotune mt_cycles
+    int autotune_iterations = 0;
+    int autotune_moves_accepted = 0;
+    int autotune_moves_rejected = 0;
+    bool autotune_converged = false;
 
     /** Field-wise equality (the parallel-vs-serial determinism oracle). */
     bool operator==(const PipelineResult &) const = default;

@@ -26,6 +26,8 @@ dswpPartition(const Pdg &pdg, const EdgeProfile &profile,
     uint64_t total = 0;
     for (InstrId i = 0; i < f.numInstrs(); ++i) {
         uint64_t w = profile.blockWeight(f.instr(i).block);
+        if (opts.feedback)
+            w += opts.feedback->blockBoost(f.instr(i).block);
         comp_weight[sccs.component[i]] += w;
         total += w;
     }

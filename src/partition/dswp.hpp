@@ -23,6 +23,14 @@ namespace gmt
 struct DswpOptions
 {
     int num_threads = 2;
+
+    /**
+     * Optional stall-feedback boosts (autotuner). Stall-charged
+     * blocks weigh more during the greedy stage fill, pulling stage
+     * boundaries toward an even split of *observed* cost rather than
+     * raw profile weight. Not owned; may be null.
+     */
+    const PartitionFeedback *feedback = nullptr;
 };
 
 /**

@@ -80,8 +80,11 @@ gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
     // Weighted work per instruction and total.
     auto instr_work = [&](InstrId i) -> uint64_t {
         const Instr &in = f.instr(i);
-        return static_cast<uint64_t>(latencyOf(in, opts)) *
-               std::max<uint64_t>(profile.blockWeight(in.block), 1);
+        uint64_t w = static_cast<uint64_t>(latencyOf(in, opts)) *
+                     std::max<uint64_t>(profile.blockWeight(in.block), 1);
+        if (opts.feedback)
+            w += opts.feedback->blockBoost(in.block);
+        return w;
     };
     uint64_t total_work = 0;
     for (InstrId i = 0; i < f.numInstrs(); ++i)
@@ -210,6 +213,10 @@ gremioPartition(const Pdg &pdg, const EdgeProfile &profile,
                     if (su == u || unit_thread[su] == -1 ||
                         unit_thread[su] == t)
                         continue;
+                    // Stall feedback is per arc (per queue carried),
+                    // charged before the per-producer dedup below.
+                    if (opts.feedback)
+                        comm += opts.feedback->arcBoost(a);
                     if (std::find(counted.begin(), counted.end(),
                                   src) != counted.end())
                         continue;

@@ -37,6 +37,15 @@ struct GremioOptions
 
     /** Latency charged per memory access. */
     int mem_latency = 2;
+
+    /**
+     * Optional stall-feedback boosts (autotuner). block_boost joins
+     * each instruction's work term (biasing busy/work scoring toward
+     * stall-charged blocks); arc_boost is added to the communication
+     * cost of keeping the corresponding PDG arc cross-thread. Not
+     * owned; may be null.
+     */
+    const PartitionFeedback *feedback = nullptr;
 };
 
 /**

@@ -39,6 +39,48 @@ struct ThreadPartition
 ThreadPartition singleThreadPartition(const Function &f);
 
 /**
+ * Stall-derived boosts folded into the next partitioning round by the
+ * feedback-directed autotuner (autotune/autotune.hpp). Both vectors
+ * are additive cycle charges: block_boost biases the work accounting
+ * (DSWP stage fills, GREMIO busy/work terms) toward stall-charged
+ * blocks, arc_boost raises the communication cost GREMIO sees for the
+ * PDG arcs a stall-charged queue carries. Either vector may be empty
+ * (no boost); when present it must be indexed by BlockId / PDG arc id
+ * respectively.
+ */
+struct PartitionFeedback
+{
+    std::vector<uint64_t> block_boost;
+    std::vector<uint64_t> arc_boost;
+
+    uint64_t
+    blockBoost(BlockId b) const
+    {
+        size_t idx = static_cast<size_t>(b);
+        return idx < block_boost.size() ? block_boost[idx] : 0;
+    }
+
+    uint64_t
+    arcBoost(int arc) const
+    {
+        size_t idx = static_cast<size_t>(arc);
+        return idx < arc_boost.size() ? arc_boost[idx] : 0;
+    }
+
+    bool
+    empty() const
+    {
+        for (uint64_t v : block_boost)
+            if (v)
+                return false;
+        for (uint64_t v : arc_boost)
+            if (v)
+                return false;
+        return true;
+    }
+};
+
+/**
  * Check a partition: every instruction assigned to a valid thread.
  * With @p require_pipeline, additionally check the DSWP invariant
  * that every PDG arc flows to an equal-or-later thread.

@@ -27,7 +27,7 @@ const std::vector<std::string> kStandardPasses = {
     "build-ir", "edge-split", "verify",      "profile",
     "pdg",      "partition",  "placement",   "mtcg",
     "queue-alloc", "verify-mt", "mt-run",    "sim",
-    "obs-profile", "obs-provenance"};
+    "autotune", "obs-profile", "obs-provenance"};
 
 TEST(PassManager, StandardPipelineOrder)
 {

@@ -228,7 +228,7 @@ summarize(const std::string &file, FlatObject obj)
     if (const FlatValue *b = obj.find("bench"))
         row.bench = b->str;
     // The contract flag: every bench reports exactly one of these.
-    for (const char *flag : {"identical", "fixpoint"})
+    for (const char *flag : {"identical", "fixpoint", "converged"})
         if (const FlatValue *v = obj.find(flag))
             if (v->kind == FlatValue::Kind::Bool)
                 row.ok = v->b ? 1 : 0;

@@ -8,10 +8,11 @@
  *
  *   gmt-explain --workload W [--scheduler dswp|gremio] [--no-coco]
  *               [--threads N] [--max-queues N] [--sim fast|reference]
+ *               [--autotune]
  *               [--instr N | --queue N | --costliest] [--top N]
  *               [--diff [--diff-scheduler S] [--diff-coco on|off]
  *                       [--diff-threads N] [--diff-max-queues N]
- *                       [--expect-zero]]
+ *                       [--diff-autotune on|off] [--expect-zero]]
  *               [--json] [--workload-dir DIR]
  *
  *   --instr N      why is instruction N on its thread: the
@@ -29,7 +30,12 @@
  *                  with the --diff-* overrides applied (none =
  *                  identical cell, which must report zero deltas;
  *                  --expect-zero turns a nonzero diff into exit 1 for
- *                  CI).
+ *                  CI). With --diff-autotune on (and no other
+ *                  override) the diff is baseline vs. the feedback
+ *                  autotuner on the same cell, and the tool
+ *                  smoke-checks that the tuner's accepted moves —
+ *                  each carrying its per-queue stall evidence — sum
+ *                  exactly to the simulated cycle delta reported.
  *
  * --json swaps every report for a single schema:1 JSON document on
  * stdout.
@@ -61,6 +67,7 @@ struct ExplainOptions
     int num_threads = 2;
     int max_queues = 0;
     SimEngine sim_engine = SimEngine::Fast;
+    bool autotune = false;
 
     int instr = -1;
     int queue = -1;
@@ -73,6 +80,7 @@ struct ExplainOptions
     int diff_coco = -1; ///< -1 = same as primary
     int diff_threads = 0;
     int diff_max_queues = -1;
+    int diff_autotune = -1; ///< -1 = same as primary
     bool expect_zero = false;
 
     bool json = false;
@@ -86,9 +94,10 @@ usage(const char *argv0, int exit_code)
         stderr,
         "usage: %s --workload W [--scheduler dswp|gremio] [--no-coco] "
         "[--threads N] [--max-queues N] [--sim fast|reference] "
-        "[--instr N | --queue N | --costliest] [--top N] "
+        "[--autotune] [--instr N | --queue N | --costliest] [--top N] "
         "[--diff [--diff-scheduler dswp|gremio] [--diff-coco on|off] "
-        "[--diff-threads N] [--diff-max-queues N] [--expect-zero]] "
+        "[--diff-threads N] [--diff-max-queues N] "
+        "[--diff-autotune on|off] [--expect-zero]] "
         "[--json] [--workload-dir DIR]\n",
         argv0);
     std::exit(exit_code);
@@ -138,7 +147,9 @@ parseArgs(int argc, char **argv)
                 opts.sim_engine = SimEngine::Reference;
             else
                 usage(argv[0], 2);
-        } else if (arg == "--instr")
+        } else if (arg == "--autotune")
+            opts.autotune = true;
+        else if (arg == "--instr")
             opts.instr = std::atoi(value().c_str());
         else if (arg == "--queue")
             opts.queue = std::atoi(value().c_str());
@@ -163,7 +174,15 @@ parseArgs(int argc, char **argv)
             opts.diff_threads = std::atoi(value().c_str());
         else if (arg == "--diff-max-queues")
             opts.diff_max_queues = std::atoi(value().c_str());
-        else if (arg == "--expect-zero")
+        else if (arg == "--diff-autotune") {
+            std::string v = value();
+            if (v == "on")
+                opts.diff_autotune = 1;
+            else if (v == "off")
+                opts.diff_autotune = 0;
+            else
+                usage(argv[0], 2);
+        } else if (arg == "--expect-zero")
             opts.expect_zero = true;
         else if (arg == "--json")
             opts.json = true;
@@ -190,6 +209,7 @@ struct RunArtifacts
     std::shared_ptr<const IrArtifact> ir;
     std::shared_ptr<const ObsProfileArtifact> obs;
     std::shared_ptr<const ProvenanceArtifact> prov;
+    std::shared_ptr<const AutotuneArtifact> autotune; ///< may be null
 };
 
 RunArtifacts
@@ -201,7 +221,65 @@ runCell(const Workload &w, const PipelineOptions &po,
     PassManager::standardPipeline().run(ctx);
     GMT_ASSERT(ctx.ir && ctx.obs && ctx.prov,
                "explain pipeline did not publish its artifacts");
-    return {ctx.ir, ctx.obs, ctx.prov};
+    return {ctx.ir, ctx.obs, ctx.prov, ctx.autotune};
+}
+
+/**
+ * Smoke check for a baseline-vs-autotuned diff of the same cell: the
+ * tuner's own move log must telescope exactly onto the simulated
+ * cycle delta the diff reports — the baseline cycles of the tuned
+ * run match the untuned run's cycles, the final trajectory entry
+ * matches the tuned run's cycles, and the accepted moves' per-move
+ * cycle gains (each backed by named per-queue stall evidence) sum to
+ * the whole delta. Returns an error string, empty when consistent.
+ */
+std::string
+checkAutotuneDiff(const ScheduleDiff &d, const AutotuneResult &at,
+                  bool base_is_a, bool verbose)
+{
+    const uint64_t base_cycles = base_is_a ? d.cycles_a : d.cycles_b;
+    const uint64_t tuned_cycles = base_is_a ? d.cycles_b : d.cycles_a;
+    if (at.baseline_cycles != base_cycles)
+        return "tuner baseline " + std::to_string(at.baseline_cycles) +
+               " != untuned run " + std::to_string(base_cycles);
+    if (at.trajectory.empty() || at.trajectory.back() != tuned_cycles)
+        return "tuner trajectory end does not match the tuned run";
+    uint64_t gains = 0, prev = at.baseline_cycles;
+    for (const AutotuneMove &m : at.moves) {
+        if (!m.accepted)
+            continue;
+        if (m.cycles >= prev)
+            return "accepted move did not improve cycles";
+        gains += prev - m.cycles;
+        prev = m.cycles;
+    }
+    if (prev != tuned_cycles)
+        return "accepted move chain does not end at the tuned run's "
+               "cycles";
+    if (gains != base_cycles - tuned_cycles)
+        return "accepted move gains (" + std::to_string(gains) +
+               ") do not sum to the cycle delta (" +
+               std::to_string(base_cycles - tuned_cycles) + ")";
+    if (verbose) {
+        std::printf("autotune: %d accepted moves telescope to the "
+                    "%llu-cycle delta\n",
+                    at.moves_accepted,
+                    static_cast<unsigned long long>(gains));
+        for (const AutotuneMove &m : at.moves) {
+            if (!m.accepted)
+                continue;
+            std::printf("  iter %d %-8s %s", m.iteration,
+                        m.kind.c_str(), m.detail.c_str());
+            if (m.queue >= 0)
+                std::printf("  [stall evidence: queue %d, %llu "
+                            "cycles]",
+                            m.queue,
+                            static_cast<unsigned long long>(
+                                m.stall_cycles));
+            std::printf("\n");
+        }
+    }
+    return "";
 }
 
 } // namespace
@@ -239,6 +317,7 @@ main(int argc, char **argv)
     po.sim_engine = opts.sim_engine;
     po.profile_stalls = true;
     po.record_provenance = true;
+    po.autotune = opts.autotune;
 
     ArtifactCache cache;
     RunArtifacts a;
@@ -261,6 +340,8 @@ main(int argc, char **argv)
             po2.num_threads = opts.diff_threads;
         if (opts.diff_max_queues >= 0)
             po2.max_queues = opts.diff_max_queues;
+        if (opts.diff_autotune >= 0)
+            po2.autotune = opts.diff_autotune != 0;
         RunArtifacts b;
         try {
             b = runCell(*w, po2, cache);
@@ -275,6 +356,30 @@ main(int argc, char **argv)
             std::cout << "\n";
         } else {
             renderScheduleDiff(std::cout, d);
+        }
+        // Baseline-vs-autotuned diff of an otherwise identical cell:
+        // smoke-check that the tuner's reported moves (each with its
+        // per-queue stall evidence) account exactly for the simulated
+        // cycle delta the diff shows.
+        if (po.autotune != po2.autotune &&
+            po.scheduler == po2.scheduler &&
+            po.use_coco == po2.use_coco &&
+            po.num_threads == po2.num_threads &&
+            po.max_queues == po2.max_queues) {
+            const RunArtifacts &tuned = po.autotune ? a : b;
+            GMT_ASSERT(tuned.autotune,
+                       "autotuned run did not publish its move log");
+            std::string err =
+                checkAutotuneDiff(d, tuned.autotune->result,
+                                  /*base_is_a=*/!po.autotune,
+                                  /*verbose=*/!opts.json);
+            if (!err.empty()) {
+                std::fprintf(
+                    stderr,
+                    "gmt-explain: autotune diff smoke check: %s\n",
+                    err.c_str());
+                return 1;
+            }
         }
         if (opts.expect_zero && !d.zero()) {
             std::fprintf(stderr,

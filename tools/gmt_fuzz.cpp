@@ -18,8 +18,14 @@
  * `--workload-dir`.
  *
  *   gmt-fuzz [--seeds N] [--start S] [--jobs J] [--threads T]
- *            [--out FILE.jsonl] [--repro-dir DIR] [--no-reduce]
- *            [--quiet]
+ *            [--autotune] [--out FILE.jsonl] [--repro-dir DIR]
+ *            [--no-reduce] [--quiet]
+ *
+ * --autotune additionally runs the feedback-directed autotuner on
+ * every cell: the loop statically verifies (incl. happens-before)
+ * each accepted intermediate schedule and oracles the final one
+ * against the single-threaded reference, and the fast/reference
+ * equality check then covers the tuned result.
  *
  * Seeds are batched one task per seed on the shared ThreadPool; the
  * JSONL stream carries one `type:"fuzz"` record per seed plus the
@@ -61,6 +67,16 @@ struct FuzzOptions
     std::string repro_dir = "fuzz-repros";
     bool reduce = true;
     bool quiet = false;
+
+    /**
+     * Close the feedback loop on every cell: the pipeline runs the
+     * autotuner (which statically verifies — happens-before included
+     * — each accepted intermediate schedule and oracles the final
+     * one against the ST reference), and the fast/reference equality
+     * check below then applies to the final tuned schedule, baseline
+     * cycles and iteration/move counts included.
+     */
+    bool autotune = false;
 };
 
 [[noreturn]] void
@@ -69,8 +85,8 @@ usage(const char *argv0, int exit_code)
     std::fprintf(
         stderr,
         "usage: %s [--seeds N] [--start S] [--jobs J] [--threads T] "
-        "[--out FILE.jsonl] [--repro-dir DIR] [--no-reduce] "
-        "[--quiet]\n",
+        "[--autotune] [--out FILE.jsonl] [--repro-dir DIR] "
+        "[--no-reduce] [--quiet]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -101,6 +117,8 @@ parseArgs(int argc, char **argv)
             opts.out_path = value();
         else if (arg == "--repro-dir")
             opts.repro_dir = value();
+        else if (arg == "--autotune")
+            opts.autotune = true;
         else if (arg == "--no-reduce")
             opts.reduce = false;
         else if (arg == "--quiet")
@@ -180,6 +198,7 @@ cellOptions(const CellConfig &cfg, const FuzzOptions &fuzz,
     po.simulate = true;
     po.sim_engine = engine;
     po.verify_mt = true;
+    po.autotune = fuzz.autotune;
     return po;
 }
 

@@ -51,6 +51,7 @@ struct ProfileOptions
     SimEngine sim_engine = SimEngine::Fast;
     int top = 5;
     int jobs = 0;
+    bool autotune = false;
     std::string json_path;
     std::string trace_path;
     bool quiet = false;
@@ -63,7 +64,8 @@ usage(const char *argv0, int exit_code)
         stderr,
         "usage: %s [--only W1,W2,...] [--scheduler dswp|gremio|both] "
         "[--threads N] [--max-queues N] [--sim fast|reference] "
-        "[--top N] [--jobs N] [--json FILE] [--trace FILE] [--quiet]\n",
+        "[--top N] [--jobs N] [--autotune] [--json FILE] "
+        "[--trace FILE] [--quiet]\n",
         argv0);
     std::exit(exit_code);
 }
@@ -126,6 +128,8 @@ parseArgs(int argc, char **argv)
             opts.top = std::atoi(value().c_str());
         } else if (arg == "--jobs") {
             opts.jobs = std::atoi(value().c_str());
+        } else if (arg == "--autotune") {
+            opts.autotune = true;
         } else if (arg == "--json") {
             opts.json_path = value();
         } else if (arg == "--trace") {
@@ -144,12 +148,15 @@ parseArgs(int argc, char **argv)
 }
 
 std::string
-cellName(const std::string &workload, Scheduler sched, bool coco)
+cellName(const std::string &workload, Scheduler sched, bool coco,
+         bool autotune)
 {
     std::string id = workload + "/";
     id += schedulerName(sched);
     if (coco)
         id += "+coco";
+    if (autotune)
+        id += "+at";
     return id;
 }
 
@@ -346,6 +353,10 @@ main(int argc, char **argv)
                 po.max_queues = opts.max_queues;
                 po.sim_engine = opts.sim_engine;
                 po.profile_stalls = true;
+                // --autotune closes the feedback loop on the COCO-on
+                // cell, so the pair's delta also shows what the tuner
+                // recovered on top of the one-shot placement.
+                po.autotune = opts.autotune && coco;
                 cells.push_back({w, po});
             }
         }
@@ -377,10 +388,12 @@ main(int argc, char **argv)
         const ObsProfileArtifact &on = *profiles[i + 1];
 
         if (sink) {
-            emitCellJson(*sink, cellName(w.name, sched, false), w.name,
+            emitCellJson(*sink,
+                         cellName(w.name, sched, false, false), w.name,
                          sched, false, off, opts.top);
-            emitCellJson(*sink, cellName(w.name, sched, true), w.name,
-                         sched, true, on, opts.top);
+            emitCellJson(*sink,
+                         cellName(w.name, sched, true, opts.autotune),
+                         w.name, sched, true, on, opts.top);
             JsonObject delta;
             delta.num("schema", int64_t{1})
                 .str("type", "coco-delta")
@@ -392,9 +405,10 @@ main(int argc, char **argv)
                 .num("stall_on", on.report.totalStallCycles());
             sink->write(delta);
         } else {
-            printCellText(cellName(w.name, sched, false), off,
+            printCellText(cellName(w.name, sched, false, false), off,
                           opts.top);
-            printCellText(cellName(w.name, sched, true), on, opts.top);
+            printCellText(cellName(w.name, sched, true, opts.autotune),
+                          on, opts.top);
             double dc = pct(on.report.cycles, off.report.cycles);
             std::printf(
                 "  COCO: cycles %llu -> %llu (%.1f%%), stall %llu -> "
@@ -423,6 +437,18 @@ main(int argc, char **argv)
                 m.counter("coco.cold_rebuilds").value()),
             static_cast<unsigned long long>(
                 m.counter("coco.relabel_global").value()));
+        if (opts.autotune)
+            std::printf(
+                "autotune: %llu iterations, %llu moves accepted, "
+                "%llu rejected, %llu warm cut reuses\n",
+                static_cast<unsigned long long>(
+                    m.counter("autotune.iterations").value()),
+                static_cast<unsigned long long>(
+                    m.counter("autotune.moves_accepted").value()),
+                static_cast<unsigned long long>(
+                    m.counter("autotune.moves_rejected").value()),
+                static_cast<unsigned long long>(
+                    m.counter("autotune.warm_cut_reuses").value()));
     }
 
     if (sink) {
